@@ -1,0 +1,58 @@
+// Command mmexp regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one table per paper claim (see DESIGN.md §5 for the
+// index).
+//
+// Usage:
+//
+//	mmexp            # quick sweep (seconds)
+//	mmexp -full      # full sweep used for EXPERIMENTS.md (minutes)
+//	mmexp -only E3   # a single experiment
+//	mmexp -list      # list the registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	full := flag.Bool("full", false, "run the full parameter sweep (slow)")
+	only := flag.String("only", "", "run a single experiment by id (e.g. E3)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	experiments := exp.All()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-3s %-38s %s\n", e.ID, e.Name, e.Claim)
+		}
+		return nil
+	}
+	ran := 0
+	for _, e := range experiments {
+		if *only != "" && !strings.EqualFold(e.ID, *only) {
+			continue
+		}
+		fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Name, e.Claim)
+		if err := e.Run(os.Stdout, *full); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q", *only)
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+// Command mmnet runs one multimedia-network algorithm on one generated
+// topology and prints the paper's complexity measures.
+//
+// Usage examples:
+//
+//	mmnet -graph ring -n 256 -algo partition-det
+//	mmnet -graph random -n 512 -extra 1024 -algo mst
+//	mmnet -graph grid -n 400 -algo sum -variant rand -stage mb
+//	mmnet -graph ray -rays 16 -raylen 16 -algo p2p-sum
+//	mmnet -graph ring -n 100 -algo count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/globalfunc"
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/partition"
+	"repro/internal/resolve"
+	"repro/internal/sim"
+	"repro/internal/size"
+	"repro/internal/snapshot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmnet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		gname   = flag.String("graph", "random", "topology: ring|path|grid|torus|random|complete|star|btree|ray")
+		n       = flag.Int("n", 256, "number of nodes (ring/path/random/complete/star/btree)")
+		extra   = flag.Int("extra", 256, "extra edges beyond the spanning tree (random)")
+		rays    = flag.Int("rays", 8, "rays (ray graph)")
+		rayLen  = flag.Int("raylen", 8, "ray length (ray graph)")
+		seed    = flag.Int64("seed", 1, "master seed")
+		algo    = flag.String("algo", "partition-det", "partition-det|partition-rand|partition-lv|mst|mst-boruvka|sum|min|p2p-sum|bcast-sum|count|estimate")
+		variant = flag.String("variant", "det", "multimedia function variant: det|balanced|rand")
+		stage   = flag.String("stage", "cap", "global stage: cap|mb")
+	)
+	flag.Parse()
+
+	g, err := makeGraph(*gname, *n, *extra, *rays, *rayLen, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph=%s n=%d m=%d diameter>=%d sqrt(n)=%d\n",
+		*gname, g.N(), g.M(), graph.DiameterLowerBound(g), partition.SqrtN(g.N()))
+
+	switch *algo {
+	case "partition-det":
+		f, met, info, err := partition.Deterministic(g, *seed)
+		if err != nil {
+			return err
+		}
+		st := f.Stats()
+		fmt.Printf("deterministic partition: trees=%d minSize=%d maxRadius=%d phases=%d\n",
+			st.Trees, st.MinSize, st.MaxRadius, info.Phases)
+		printMetrics(met)
+	case "partition-rand":
+		f, met, info, err := partition.Randomized(g, *seed)
+		if err != nil {
+			return err
+		}
+		st := f.Stats()
+		fmt.Printf("randomized partition: trees=%d maxRadius=%d (bound %d) iterations=%d\n",
+			st.Trees, st.MaxRadius, 4*partition.SqrtN(g.N()), info.Iterations)
+		printMetrics(met)
+	case "partition-lv":
+		f, met, info, err := partition.RandomizedLasVegas(g, *seed)
+		if err != nil {
+			return err
+		}
+		st := f.Stats()
+		fmt.Printf("las vegas partition: trees=%d (bound %d) restarts=%d\n",
+			st.Trees, 2*partition.SqrtN(g.N()), info.Restarts)
+		printMetrics(met)
+	case "mst":
+		res, err := mst.Multimedia(g, *seed)
+		if err != nil {
+			return err
+		}
+		want, err := graph.Kruskal(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("multimedia MST: weight=%d edges=%d fragments=%d phases=%d kruskal-match=%v\n",
+			res.MST.Total, len(res.MST.EdgeIDs), res.InitialFragments, res.Phases, res.MST.Equal(want))
+		printMetrics(&res.Total)
+	case "mst-boruvka":
+		res, err := mst.Boruvka(g, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("boruvka baseline MST: weight=%d phases=%d\n", res.MST.Total, res.Phases)
+		printMetrics(&res.Total)
+	case "sum", "min":
+		op := globalfunc.Sum
+		if *algo == "min" {
+			op = globalfunc.Min
+		}
+		v := map[string]globalfunc.Variant{
+			"det": globalfunc.VariantDeterministic, "balanced": globalfunc.VariantBalanced,
+			"rand": globalfunc.VariantRandomized,
+		}[*variant]
+		s := map[string]globalfunc.Stage{
+			"cap": globalfunc.StageCapetanakis, "mb": globalfunc.StageMetcalfeBoggs,
+		}[*stage]
+		if v == 0 || s == 0 {
+			return fmt.Errorf("unknown variant %q or stage %q", *variant, *stage)
+		}
+		res, err := globalfunc.Multimedia(g, *seed, op, inputs, v, s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("multimedia %s = %d (reference %d), trees=%d\n",
+			op.Name, res.Value, globalfunc.Reference(g, op, inputs), res.Trees)
+		printMetrics(&res.Total)
+	case "p2p-sum":
+		res, err := globalfunc.PointToPoint(g, *seed, globalfunc.Sum, inputs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("point-to-point sum = %d\n", res.Value)
+		printMetrics(&res.Total)
+	case "bcast-sum":
+		res, err := globalfunc.BroadcastOnly(g, *seed, globalfunc.Sum, inputs, globalfunc.StageCapetanakis)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("broadcast-only sum = %d\n", res.Value)
+		printMetrics(&res.Total)
+	case "count":
+		res, err := size.Exact(g, *seed, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deterministic size computation: n=%d phases=%d\n", res.N, res.Phases)
+		printMetrics(&res.Metrics)
+	case "estimate":
+		res, err := size.Estimate(g, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("randomized size estimate: 2^k=%d (true n=%d, ratio %.2f)\n",
+			res.Estimate, g.N(), float64(res.Estimate)/float64(g.N()))
+		printMetrics(&res.Metrics)
+	case "elect":
+		res, err := sim.Run(g, func(c *sim.Ctx) error {
+			leader, ok, _ := resolve.Election(c, sim.Input{}, c.N(), true, int(c.ID()))
+			if !ok {
+				return fmt.Errorf("no contenders")
+			}
+			c.SetResult(leader)
+			return nil
+		}, sim.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deterministic election: leader=%v (max id)\n", res.Results[0])
+		printMetrics(&res.Metrics)
+	case "snapshot":
+		res, err := sim.Run(g, func(c *sim.Ctx) error {
+			cut, ok, _ := snapshot.Take(c, sim.Input{}, c.ID() == 0, func(int) {})
+			if !ok {
+				return fmt.Errorf("snapshot not taken")
+			}
+			c.SetResult(cut)
+			return nil
+		}, sim.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("snapshot cut: %+v at every node\n", res.Results[0])
+		printMetrics(&res.Metrics)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return nil
+}
+
+func inputs(v graph.NodeID) int64 { return (int64(v)*2654435761 + 17) % 10_000 }
+
+func makeGraph(name string, n, extra, rays, rayLen int, seed int64) (*graph.Graph, error) {
+	switch name {
+	case "ring":
+		return graph.Ring(n, seed)
+	case "path":
+		return graph.Path(n, seed)
+	case "grid":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return graph.Grid(side, (n+side-1)/side, seed)
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return graph.Torus(side, side, seed)
+	case "random":
+		return graph.RandomConnected(n, extra, seed)
+	case "complete":
+		return graph.Complete(n, seed)
+	case "star":
+		return graph.Star(n, seed)
+	case "btree":
+		return graph.BinaryTree(n, seed)
+	case "ray":
+		return graph.Ray(rays, rayLen, seed)
+	default:
+		return nil, fmt.Errorf("unknown graph %q", name)
+	}
+}
+
+func printMetrics(m *sim.Metrics) {
+	fmt.Printf("time=%d rounds, messages=%d, slots: idle=%d success=%d collision=%d, communication=%d\n",
+		m.Rounds, m.Messages, m.SlotsIdle, m.SlotsSuccess, m.SlotsCollision, m.Communication())
+}

@@ -1,0 +1,41 @@
+// Synchronizer: §7.1 — the multiaccess channel as a synchronizer. A
+// synchronous aggregation algorithm (BFS + convergecast + broadcast) runs
+// unchanged on a fully asynchronous point-to-point network: every message
+// is acknowledged, senders hold a busy tone while unacknowledged, and an
+// idle slot is the global clock pulse starting the next round. Corollary 4:
+// at most 2× the messages and a constant time factor per round.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+)
+
+func main() {
+	for _, n := range []int{25, 100, 400} {
+		g, err := graph.Grid(n/5, 5, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results := make([]int64, g.N())
+		var mu sync.Mutex
+		readings := func(v graph.NodeID) int64 { return int64(v) + 1 }
+		met, err := async.Run(g, 99, 50*g.N()+500, async.SumDemo(readings, results, &mu))
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := int64(g.N()) * int64(g.N()+1) / 2
+		if results[0] != want {
+			log.Fatalf("n=%d: got %d, want %d", g.N(), results[0], want)
+		}
+		fmt.Printf("n=%4d: sum=%-7d rounds=%-4d time=%-5d slots/round=%.2f  msgs=%d acks=%d overhead=%.2fx\n",
+			g.N(), results[0], met.Rounds, met.Time,
+			float64(met.Time)/float64(met.Rounds), met.AlgMsgs, met.AckMsgs, met.Overhead())
+	}
+	fmt.Println("\nthe asynchronous runs compute the same value as the synchronous")
+	fmt.Println("algorithm, with exactly 2x messages and O(1) slots per round (Cor. 4).")
+}

@@ -1,0 +1,363 @@
+// Package coloring implements the deterministic symmetry-breaking toolkit
+// the partitioning algorithm of §3 relies on: Cole–Vishkin deterministic
+// coin tossing for color reduction on rooted forests, the
+// Goldberg–Plotkin–Shannon 3-coloring, and the paper's Steps 4–5 recoloring
+// that turns a 3-coloring into a maximal independent set containing every
+// root. This package is the pure combinatorial version, used both directly
+// by tests and as the specification for the distributed fragment-level
+// protocol in internal/partition.
+//
+// A rooted forest on n vertices is given as a parent slice: parent[v] == -1
+// for roots; otherwise parent[v] is v's father.
+package coloring
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// The three colors of the GPS coloring, named as in the paper.
+const (
+	Red   = 0
+	Green = 1
+	Blue  = 2
+)
+
+// ErrNotForest is returned when the parent slice contains a cycle or an
+// out-of-range parent.
+var ErrNotForest = errors.New("coloring: parent slice is not a rooted forest")
+
+// ValidateForest checks that parent encodes a rooted forest.
+func ValidateForest(parent []int) error {
+	n := len(parent)
+	state := make([]int8, n) // 0 unseen, 1 on stack, 2 done
+	for v := range parent {
+		if parent[v] < -1 || parent[v] >= n || parent[v] == v {
+			return fmt.Errorf("%w: parent[%d] = %d", ErrNotForest, v, parent[v])
+		}
+	}
+	for v := range parent {
+		if state[v] != 0 {
+			continue
+		}
+		var path []int
+		u := v
+		for u != -1 && state[u] == 0 {
+			state[u] = 1
+			path = append(path, u)
+			u = parent[u]
+		}
+		if u != -1 && state[u] == 1 {
+			return fmt.Errorf("%w: cycle through vertex %d", ErrNotForest, u)
+		}
+		for _, w := range path {
+			state[w] = 2
+		}
+	}
+	return nil
+}
+
+// cvColor computes one vertex's Cole–Vishkin color from its own color and
+// its father's: the index k of the lowest bit in which they differ, shifted
+// left, plus v's value of that bit. Adjacent vertices with distinct colors
+// get distinct new colors.
+func cvColor(own, father int) int {
+	k := bits.TrailingZeros64(uint64(own ^ father))
+	return k<<1 | (own >> uint(k) & 1)
+}
+
+// SixColor runs Cole–Vishkin iterations starting from the identity coloring
+// (vertex ids) until every color is below six, and returns the coloring and
+// the number of iterations — Θ(log* n), the quantity the paper's time
+// bounds charge per phase.
+func SixColor(parent []int) (colors []int, iters int, err error) {
+	if err := ValidateForest(parent); err != nil {
+		return nil, 0, err
+	}
+	n := len(parent)
+	colors = make([]int, n)
+	for v := range colors {
+		colors[v] = v
+	}
+	next := make([]int, n)
+	for iters = 0; maxOf(colors) > 5; iters++ {
+		for v := range colors {
+			father := colors[v] ^ 1 // roots pretend their father differs in bit 0
+			if parent[v] != -1 {
+				father = colors[parent[v]]
+			}
+			next[v] = cvColor(colors[v], father)
+		}
+		copy(colors, next)
+		if iters > 64 {
+			return nil, iters, errors.New("coloring: six-coloring failed to converge")
+		}
+	}
+	return colors, iters, nil
+}
+
+// shiftDown recolors every non-root with its father's color and every root
+// with the smallest color in {0,1,2} different from its own. The result is a
+// legal coloring in which all siblings share a color.
+func shiftDown(parent, colors []int) []int {
+	out := make([]int, len(colors))
+	for v := range colors {
+		if parent[v] == -1 {
+			out[v] = smallestExcept(colors[v])
+		} else {
+			out[v] = colors[parent[v]]
+		}
+	}
+	return out
+}
+
+func smallestExcept(c int) int {
+	for x := 0; ; x++ {
+		if x != c {
+			return x
+		}
+	}
+}
+
+// ThreeColor computes a legal 3-coloring (colors in {Red, Green, Blue}) of a
+// rooted forest via GPS: Cole–Vishkin down to six colors, then three
+// shift-down-and-recolor rounds eliminating colors 5, 4 and 3. The returned
+// iteration count is the number of Cole–Vishkin rounds.
+func ThreeColor(parent []int) (colors []int, iters int, err error) {
+	colors, iters, err = SixColor(parent)
+	if err != nil {
+		return nil, 0, err
+	}
+	children := childLists(parent)
+	for drop := 5; drop >= 3; drop-- {
+		colors = shiftDown(parent, colors)
+		next := make([]int, len(colors))
+		copy(next, colors)
+		for v := range colors {
+			if colors[v] != drop {
+				continue
+			}
+			forbidden := [6]bool{}
+			if parent[v] != -1 {
+				forbidden[colors[parent[v]]] = true
+			}
+			// After shift-down all children of v share v's old color; look
+			// at any one of them.
+			if len(children[v]) > 0 {
+				forbidden[colors[children[v][0]]] = true
+			}
+			for x := 0; x < 3; x++ {
+				if !forbidden[x] {
+					next[v] = x
+					break
+				}
+			}
+		}
+		colors = next
+	}
+	return colors, iters, nil
+}
+
+// MISRecolor implements the paper's Steps 4 and 5: starting from a legal
+// 3-coloring it recolors the forest so that the red vertices form a maximal
+// independent set that contains every root. The input slice is not modified.
+func MISRecolor(parent, colors []int) ([]int, error) {
+	if err := ValidateForest(parent); err != nil {
+		return nil, err
+	}
+	if !IsLegalColoring(parent, colors) {
+		return nil, errors.New("coloring: MISRecolor requires a legal coloring")
+	}
+	n := len(parent)
+	children := childLists(parent)
+	out := make([]int, n)
+
+	// Step 4: every vertex except roots and roots' children takes its
+	// father's (old) color; then fix up each root and its children so the
+	// root is red and the coloring stays legal.
+	isRootChild := make([]bool, n)
+	for v := range parent {
+		if parent[v] != -1 && parent[parent[v]] == -1 {
+			isRootChild[v] = true
+		}
+	}
+	for v := range parent {
+		switch {
+		case parent[v] == -1 || isRootChild[v]:
+			out[v] = colors[v] // handled below
+		default:
+			out[v] = colors[parent[v]]
+		}
+	}
+	for r := range parent {
+		if parent[r] != -1 {
+			continue
+		}
+		if colors[r] == Red {
+			for _, ch := range children[r] {
+				out[ch] = thirdColor(Red, colors[ch])
+			}
+		} else {
+			for _, ch := range children[r] {
+				out[ch] = colors[r]
+			}
+			out[r] = Red
+		}
+	}
+
+	// Step 5: promote blue vertices with no red neighbor to red, then green
+	// vertices with no red neighbor.
+	for _, promote := range []int{Blue, Green} {
+		next := make([]int, n)
+		copy(next, out)
+		for v := range parent {
+			if out[v] != promote {
+				continue
+			}
+			if !hasRedNeighbor(parent, children, out, v) {
+				next[v] = Red
+			}
+		}
+		out = next
+	}
+	return out, nil
+}
+
+func thirdColor(a, b int) int {
+	for x := 0; x < 3; x++ {
+		if x != a && x != b {
+			return x
+		}
+	}
+	return -1 // unreachable: a != b in all call sites
+}
+
+func hasRedNeighbor(parent []int, children [][]int, colors []int, v int) bool {
+	if parent[v] != -1 && colors[parent[v]] == Red {
+		return true
+	}
+	for _, ch := range children[v] {
+		if colors[ch] == Red {
+			return true
+		}
+	}
+	return false
+}
+
+// CutRedSubtrees implements Step 6's cut: remove the edge out of every red
+// vertex that is not a leaf of the forest, and return for each vertex the
+// root of the subtree it now belongs to. The paper proves each subtree has
+// radius at most four and a red root (or is an original root's subtree).
+func CutRedSubtrees(parent, colors []int) []int {
+	n := len(parent)
+	childCount := make([]int, n)
+	for v := range parent {
+		if parent[v] != -1 {
+			childCount[parent[v]]++
+		}
+	}
+	newParent := make([]int, n)
+	for v := range parent {
+		if colors[v] == Red && childCount[v] > 0 {
+			newParent[v] = -1 // cut the outgoing edge of red internal vertices
+		} else {
+			newParent[v] = parent[v]
+		}
+	}
+	subroot := make([]int, n)
+	for v := range subroot {
+		subroot[v] = -1
+	}
+	var find func(v int) int
+	find = func(v int) int {
+		if subroot[v] != -1 {
+			return subroot[v]
+		}
+		if newParent[v] == -1 {
+			subroot[v] = v
+		} else {
+			subroot[v] = find(newParent[v])
+		}
+		return subroot[v]
+	}
+	for v := range subroot {
+		find(v)
+	}
+	return subroot
+}
+
+// IsLegalColoring reports whether no vertex shares a color with its father.
+func IsLegalColoring(parent, colors []int) bool {
+	for v := range parent {
+		if parent[v] != -1 && colors[v] == colors[parent[v]] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRootedMIS reports whether the red vertices of the coloring form an
+// independent set that is maximal and contains every root.
+func IsRootedMIS(parent, colors []int) bool {
+	children := childLists(parent)
+	for v := range parent {
+		red := colors[v] == Red
+		if parent[v] == -1 && !red {
+			return false // root not in the set
+		}
+		if red && parent[v] != -1 && colors[parent[v]] == Red {
+			return false // not independent
+		}
+		if !red && !hasRedNeighbor(parent, children, colors, v) {
+			return false // not maximal
+		}
+	}
+	return true
+}
+
+func childLists(parent []int) [][]int {
+	children := make([][]int, len(parent))
+	for v := range parent {
+		if parent[v] != -1 {
+			children[parent[v]] = append(children[parent[v]], v)
+		}
+	}
+	return children
+}
+
+func maxOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Depths returns each vertex's depth below its subtree root, given a
+// subroot assignment from CutRedSubtrees (or parent == -1 roots).
+func Depths(parent, subroot []int) []int {
+	n := len(parent)
+	depth := make([]int, n)
+	for v := range depth {
+		depth[v] = -1
+	}
+	var find func(v int) int
+	find = func(v int) int {
+		if depth[v] != -1 {
+			return depth[v]
+		}
+		if subroot[v] == v {
+			depth[v] = 0
+		} else {
+			depth[v] = find(parent[v]) + 1
+		}
+		return depth[v]
+	}
+	for v := range depth {
+		find(v)
+	}
+	return depth
+}

@@ -1,0 +1,117 @@
+// Package exp defines the experiment suite that reproduces every
+// complexity claim of the paper as an empirical scaling table (the paper is
+// theory-only, so its theorems play the role of its evaluation section; see
+// DESIGN.md §5 for the experiment index). Each experiment prints the table
+// recorded in EXPERIMENTS.md; cmd/mmexp regenerates them all.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Experiment is one reproducible table.
+type Experiment struct {
+	ID    string
+	Name  string
+	Claim string // the paper claim being checked
+	Run   func(w io.Writer, full bool) error
+}
+
+// All returns the experiment registry in index order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Name: "deterministic partition", Claim: "§3: O(√n) trees of radius O(√n) in O(√n·log*n) time, O(m+n·log n·log*n) messages", Run: runE1},
+		{ID: "E2", Name: "randomized partition", Claim: "§4 Thm 1: E[#trees]=O(√n), radius ≤ 4√n, O(m+n·log*n) messages; Las Vegas restart rate < 1/2", Run: runE2},
+		{ID: "E3", Name: "global sensitive functions", Claim: "§5: multimedia Õ(√n) beats point-to-point Ω(d) and broadcast Ω(n)", Run: runE3},
+		{ID: "E4", Name: "balanced variant", Claim: "§5.1: balance point √(n·log n/log*n) improves the deterministic time", Run: runE4},
+		{ID: "E5", Name: "minimum spanning tree", Claim: "§6: MST in O(√n·log n) time, exact equality with Kruskal", Run: runE5},
+		{ID: "E6", Name: "channel synchronizer", Claim: "§7.1 Cor. 4: ≤2× messages, constant time factor per round", Run: runE6},
+		{ID: "E7", Name: "network size", Claim: "§7.3 exact n; §7.4 estimate within a constant factor", Run: runE7},
+		{ID: "E8", Name: "ray-graph lower bound", Claim: "§5.2 Thm 2: best achievable time tracks min{d,√n}", Run: runE8},
+		{ID: "A2", Name: "ablation: Monte Carlo vs Las Vegas", Claim: "§4 remark: verification adds 8√n slots per attempt, restart rate < 1/2", Run: runA2},
+		{ID: "A3", Name: "ablation: global-stage protocols", Claim: "§5.1: Capetanakis O(k·log n) slots vs Metcalfe–Boggs O(k) expected", Run: runA3},
+		{ID: "A4", Name: "ablation: MWOE edge testing", Claim: "design choice: sequential testing keeps messages at O(m+n·log n·log*n); parallel trades messages for rounds", Run: runA4},
+	}
+}
+
+// Table is a fixed-width text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// logStar returns the base-2 iterated logarithm.
+func logStar(n int) int {
+	s := 0
+	v := float64(n)
+	for v > 1 {
+		v = math.Log2(v)
+		s++
+		if s > 8 {
+			break
+		}
+	}
+	return s
+}
+
+// sqrt is a float shorthand.
+func sqrt(n int) float64 { return math.Sqrt(float64(n)) }

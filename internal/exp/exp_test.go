@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, false); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("%s: output lacks its id header:\n%s", e.ID, out)
+			}
+			if strings.Count(out, "\n") < 4 {
+				t.Errorf("%s: suspiciously short output:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Name == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d experiments registered", len(seen))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"a", "long-col"}}
+	tab.Add(1, 2.5)
+	tab.Add("xyz", "w")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "long-col", "2.50", "xyz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	cases := []struct{ n, want int }{{2, 1}, {4, 2}, {16, 3}, {65536, 4}}
+	for _, c := range cases {
+		if got := logStar(c.n); got != c.want {
+			t.Errorf("logStar(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package forest represents the rooted spanning forests produced by the
+// partitioning algorithms of §3 and §4 — the "O(√n) trees of radius O(√n)"
+// that balance the local and global stages — together with the validators
+// the experiments rely on: spanning-ness, acyclicity, per-tree size and
+// radius, and the §3 property that every tree is a subtree of the MST.
+package forest
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Forest is a rooted spanning forest of a graph. For roots ("cores" in the
+// paper's terminology) Parent[v] == -1 and ParentEdge[v] == -1; for every
+// other vertex ParentEdge[v] is the graph edge connecting v to Parent[v].
+type Forest struct {
+	G          *graph.Graph
+	Parent     []graph.NodeID
+	ParentEdge []int
+
+	root  []graph.NodeID
+	depth []int
+}
+
+// ErrInvalidForest is wrapped by all New validation failures.
+var ErrInvalidForest = errors.New("forest: invalid spanning forest")
+
+// New validates parent pointers against g and precomputes roots and depths.
+func New(g *graph.Graph, parent []graph.NodeID, parentEdge []int) (*Forest, error) {
+	n := g.N()
+	if len(parent) != n || len(parentEdge) != n {
+		return nil, fmt.Errorf("%w: got %d parents and %d parent edges for %d nodes",
+			ErrInvalidForest, len(parent), len(parentEdge), n)
+	}
+	f := &Forest{
+		G:          g,
+		Parent:     append([]graph.NodeID(nil), parent...),
+		ParentEdge: append([]int(nil), parentEdge...),
+		root:       make([]graph.NodeID, n),
+		depth:      make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		p := parent[v]
+		switch {
+		case p == -1:
+			if parentEdge[v] != -1 {
+				return nil, fmt.Errorf("%w: root %d has parent edge %d", ErrInvalidForest, v, parentEdge[v])
+			}
+		case p < 0 || int(p) >= n:
+			return nil, fmt.Errorf("%w: parent[%d] = %d", ErrInvalidForest, v, p)
+		default:
+			id := parentEdge[v]
+			if id < 0 || id >= g.M() {
+				return nil, fmt.Errorf("%w: parent edge id %d of node %d", ErrInvalidForest, id, v)
+			}
+			e := g.Edge(id)
+			if !((e.U == graph.NodeID(v) && e.V == p) || (e.V == graph.NodeID(v) && e.U == p)) {
+				return nil, fmt.Errorf("%w: edge %d does not connect %d to its parent %d", ErrInvalidForest, id, v, p)
+			}
+		}
+		f.root[v] = -1
+		f.depth[v] = -1
+	}
+	// Resolve roots and depths; detect cycles.
+	for v := 0; v < n; v++ {
+		if err := f.resolve(graph.NodeID(v)); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (f *Forest) resolve(v graph.NodeID) error {
+	var path []graph.NodeID
+	u := v
+	for f.root[u] == -1 {
+		path = append(path, u)
+		if f.Parent[u] == -1 {
+			f.root[u] = u
+			f.depth[u] = 0
+			break
+		}
+		u = f.Parent[u]
+		if len(path) > len(f.Parent) {
+			return fmt.Errorf("%w: cycle through node %d", ErrInvalidForest, v)
+		}
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		w := path[i]
+		if w == f.root[w] {
+			continue
+		}
+		p := f.Parent[w]
+		f.root[w] = f.root[p]
+		f.depth[w] = f.depth[p] + 1
+	}
+	return nil
+}
+
+// Root returns the core of v's tree.
+func (f *Forest) Root(v graph.NodeID) graph.NodeID { return f.root[v] }
+
+// Depth returns v's hop distance from its core along tree edges.
+func (f *Forest) Depth(v graph.NodeID) int { return f.depth[v] }
+
+// Roots returns all cores in ascending id order.
+func (f *Forest) Roots() []graph.NodeID {
+	var roots []graph.NodeID
+	for v, p := range f.Parent {
+		if p == -1 {
+			roots = append(roots, graph.NodeID(v))
+		}
+	}
+	return roots
+}
+
+// Trees returns the number of trees in the forest.
+func (f *Forest) Trees() int { return len(f.Roots()) }
+
+// Children returns, for every vertex, its tree children.
+func (f *Forest) Children() [][]graph.NodeID {
+	ch := make([][]graph.NodeID, f.G.N())
+	for v, p := range f.Parent {
+		if p != -1 {
+			ch[p] = append(ch[p], graph.NodeID(v))
+		}
+	}
+	return ch
+}
+
+// Stats summarizes the forest for the experiment tables.
+type Stats struct {
+	Trees     int
+	MinSize   int
+	MaxSize   int
+	MaxRadius int // max over trees of max depth below the core
+}
+
+// Stats computes per-forest statistics.
+func (f *Forest) Stats() Stats {
+	size := make(map[graph.NodeID]int)
+	radius := make(map[graph.NodeID]int)
+	for v := range f.Parent {
+		r := f.root[v]
+		size[r]++
+		if f.depth[v] > radius[r] {
+			radius[r] = f.depth[v]
+		}
+	}
+	st := Stats{Trees: len(size)}
+	first := true
+	for r, s := range size {
+		if first || s < st.MinSize {
+			st.MinSize = s
+		}
+		if s > st.MaxSize {
+			st.MaxSize = s
+		}
+		if radius[r] > st.MaxRadius {
+			st.MaxRadius = radius[r]
+		}
+		first = false
+	}
+	return st
+}
+
+// SubtreeOfMST verifies the §3 property: every tree edge belongs to the
+// given MST (so every tree is a subtree of the minimum spanning tree).
+func (f *Forest) SubtreeOfMST(mst *graph.MST) error {
+	for v, id := range f.ParentEdge {
+		if id == -1 {
+			continue
+		}
+		if !mst.Contains(id) {
+			return fmt.Errorf("forest: tree edge %d (node %d) is not an MST edge", id, v)
+		}
+	}
+	return nil
+}
+
+// CheckPartition verifies the balance guarantees the paper's partition
+// theorems promise: at most maxTrees trees and radius at most maxRadius.
+func (f *Forest) CheckPartition(maxTrees, maxRadius int) error {
+	st := f.Stats()
+	if st.Trees > maxTrees {
+		return fmt.Errorf("forest: %d trees exceeds bound %d", st.Trees, maxTrees)
+	}
+	if st.MaxRadius > maxRadius {
+		return fmt.Errorf("forest: radius %d exceeds bound %d", st.MaxRadius, maxRadius)
+	}
+	return nil
+}

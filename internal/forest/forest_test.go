@@ -1,0 +1,153 @@
+package forest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// pathGraph returns the path 0-1-2-3-4 with weights 1..4 (edge i joins i, i+1).
+func pathGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.NewBuilder(5).
+		AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(2, 3, 3).AddEdge(3, 4, 4).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewSingleTree(t *testing.T) {
+	g := pathGraph(t)
+	f, err := New(g,
+		[]graph.NodeID{-1, 0, 1, 2, 3},
+		[]int{-1, 0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trees() != 1 {
+		t.Errorf("Trees = %d, want 1", f.Trees())
+	}
+	for v := 0; v < 5; v++ {
+		if f.Root(graph.NodeID(v)) != 0 {
+			t.Errorf("Root(%d) = %d, want 0", v, f.Root(graph.NodeID(v)))
+		}
+		if f.Depth(graph.NodeID(v)) != v {
+			t.Errorf("Depth(%d) = %d, want %d", v, f.Depth(graph.NodeID(v)), v)
+		}
+	}
+	st := f.Stats()
+	if st.Trees != 1 || st.MinSize != 5 || st.MaxSize != 5 || st.MaxRadius != 4 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestNewTwoTrees(t *testing.T) {
+	g := pathGraph(t)
+	f, err := New(g,
+		[]graph.NodeID{-1, 0, -1, 2, 3},
+		[]int{-1, 0, -1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trees() != 2 {
+		t.Errorf("Trees = %d, want 2", f.Trees())
+	}
+	roots := f.Roots()
+	if len(roots) != 2 || roots[0] != 0 || roots[1] != 2 {
+		t.Errorf("Roots = %v", roots)
+	}
+	st := f.Stats()
+	if st.MinSize != 2 || st.MaxSize != 3 || st.MaxRadius != 2 {
+		t.Errorf("Stats = %+v", st)
+	}
+	ch := f.Children()
+	if len(ch[2]) != 1 || ch[2][0] != 3 {
+		t.Errorf("Children(2) = %v", ch[2])
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	g := pathGraph(t)
+	cases := []struct {
+		name       string
+		parent     []graph.NodeID
+		parentEdge []int
+	}{
+		{"length mismatch", []graph.NodeID{-1}, []int{-1}},
+		{"root with edge", []graph.NodeID{-1, 0, 1, 2, 3}, []int{0, 0, 1, 2, 3}},
+		{"parent out of range", []graph.NodeID{9, -1, -1, -1, -1}, []int{0, -1, -1, -1, -1}},
+		{"edge id out of range", []graph.NodeID{1, -1, -1, -1, -1}, []int{9, -1, -1, -1, -1}},
+		{"edge does not connect", []graph.NodeID{1, -1, -1, -1, -1}, []int{2, -1, -1, -1, -1}},
+		{"cycle", []graph.NodeID{1, 0, -1, -1, -1}, []int{0, 0, -1, -1, -1}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(g, tt.parent, tt.parentEdge); !errors.Is(err, ErrInvalidForest) {
+				t.Errorf("New = %v, want ErrInvalidForest", err)
+			}
+		})
+	}
+}
+
+func TestSubtreeOfMST(t *testing.T) {
+	// Triangle with weights 1,2,3: MST = edges 0,1.
+	g, err := graph.NewBuilder(3).AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(0, 2, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mst, err := graph.Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := New(g, []graph.NodeID{-1, 0, 1}, []int{-1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.SubtreeOfMST(mst); err != nil {
+		t.Errorf("good forest rejected: %v", err)
+	}
+	bad, err := New(g, []graph.NodeID{-1, 0, 0}, []int{-1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.SubtreeOfMST(mst); err == nil {
+		t.Error("forest using non-MST edge accepted")
+	}
+}
+
+func TestCheckPartition(t *testing.T) {
+	g := pathGraph(t)
+	f, err := New(g,
+		[]graph.NodeID{-1, 0, -1, 2, 3},
+		[]int{-1, 0, -1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckPartition(2, 2); err != nil {
+		t.Errorf("CheckPartition(2,2) = %v", err)
+	}
+	if err := f.CheckPartition(1, 2); err == nil {
+		t.Error("tree bound violation not caught")
+	}
+	if err := f.CheckPartition(2, 1); err == nil {
+		t.Error("radius bound violation not caught")
+	}
+}
+
+func TestForestCopiesInput(t *testing.T) {
+	g := pathGraph(t)
+	parent := []graph.NodeID{-1, 0, 1, 2, 3}
+	pe := []int{-1, 0, 1, 2, 3}
+	f, err := New(g, parent, pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent[1] = -1
+	pe[1] = -1
+	if f.Parent[1] != 0 || f.ParentEdge[1] != 0 {
+		t.Error("forest aliases caller's slices")
+	}
+}

@@ -1,0 +1,229 @@
+// Package globalfunc implements §5: computing global sensitive functions in
+// a multimedia network. A global sensitive function is F(x₁,…,xₙ) = x₁●…●xₙ
+// for a commutative semigroup (X,●) whose value cannot be determined from
+// any n-1 of its inputs (sum, min, max, xor over the integers are the
+// canonical examples).
+//
+// The multimedia algorithm is two-stage: a local stage computes each
+// partition tree's partial result in parallel by convergecast on the
+// point-to-point network, then a global stage schedules the tree roots on
+// the multiaccess channel — deterministically with Capetanakis tree
+// splitting (O(√n·log n) time) or randomized with Metcalfe–Boggs contention
+// (O(√n) expected time). The two baselines realize the paper's lower-bound
+// models: a pure point-to-point network needs Ω(d) time, a pure broadcast
+// network Ω(n).
+package globalfunc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/forest"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/resolve"
+	"repro/internal/sim"
+)
+
+// Op is a commutative semigroup operation over int64.
+type Op struct {
+	Name    string
+	Combine func(a, b int64) int64
+}
+
+// The canonical global sensitive functions of §5.
+var (
+	Sum = Op{Name: "sum", Combine: func(a, b int64) int64 { return a + b }}
+	Min = Op{Name: "min", Combine: func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}}
+	Max = Op{Name: "max", Combine: func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}}
+	Xor = Op{Name: "xor", Combine: func(a, b int64) int64 { return a ^ b }}
+)
+
+// Inputs assigns each node its input element.
+type Inputs func(v graph.NodeID) int64
+
+// Reference computes the function sequentially (ground truth for tests).
+func Reference(g *graph.Graph, op Op, in Inputs) int64 {
+	acc := in(0)
+	for v := 1; v < g.N(); v++ {
+		acc = op.Combine(acc, in(graph.NodeID(v)))
+	}
+	return acc
+}
+
+// Variant selects the partitioning algorithm feeding the multimedia
+// computation.
+type Variant int
+
+// Partition variants.
+const (
+	// VariantDeterministic uses the §3 partition at the standard √n balance.
+	VariantDeterministic Variant = iota + 1
+	// VariantBalanced uses the §5.1 improved balance: the deterministic
+	// partition is stopped at fragments of size √(n·log n/log* n), making
+	// the local and global stages both O(√(n·log n·log* n)).
+	VariantBalanced
+	// VariantRandomized uses the §4 Las Vegas partition, whose verified
+	// core schedule lets the global stage run with an exact contender count.
+	VariantRandomized
+)
+
+// Stage selects the channel-scheduling protocol of the global stage.
+type Stage int
+
+// Global-stage protocols.
+const (
+	StageCapetanakis   Stage = iota + 1 // deterministic tree splitting
+	StageMetcalfeBoggs                  // randomized contention
+)
+
+// Result reports a distributed computation's outcome and costs.
+type Result struct {
+	Value     int64
+	Trees     int         // partition trees = channel contenders
+	Partition sim.Metrics // stage-1 costs (zero for the baselines)
+	Compute   sim.Metrics // local+global stage costs
+	Total     sim.Metrics
+}
+
+// ErrDisagreement is returned when nodes finish with unequal values — a
+// protocol bug by construction, surfaced defensively.
+var ErrDisagreement = errors.New("globalfunc: nodes disagree on the result")
+
+// collectValue checks that every node finished with the same int64 result.
+func collectValue(results []any) (int64, error) {
+	val, ok := results[0].(int64)
+	if !ok {
+		return 0, fmt.Errorf("globalfunc: node 0 recorded %T, want int64", results[0])
+	}
+	for v, r := range results {
+		if r != val {
+			return 0, fmt.Errorf("%w: node %d has %v, node 0 has %v", ErrDisagreement, v, r, val)
+		}
+	}
+	return val, nil
+}
+
+// Multimedia computes the function on the multimedia network: partition,
+// local convergecast, global channel scheduling.
+func Multimedia(g *graph.Graph, seed int64, op Op, in Inputs, variant Variant, stage Stage) (*Result, error) {
+	n := g.N()
+	var (
+		f    *forest.Forest
+		pm   *sim.Metrics
+		info *partition.RandomizedInfo
+		err  error
+	)
+	switch variant {
+	case VariantDeterministic:
+		f, pm, _, err = partition.Deterministic(g, seed)
+	case VariantBalanced:
+		f, pm, _, err = partition.DeterministicPhases(g, seed, BalancedPhaseCount(n))
+	case VariantRandomized:
+		f, pm, info, err = partition.RandomizedLasVegas(g, seed)
+	default:
+		return nil, fmt.Errorf("globalfunc: unknown variant %d", variant)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("globalfunc: partition: %w", err)
+	}
+
+	knownRoots := 0
+	if info != nil {
+		knownRoots = len(info.RootOrder)
+	}
+	res, err := sim.Run(g, stageProgram(f, op, in, stage, knownRoots), sim.WithSeed(seed+1))
+	if err != nil {
+		return nil, fmt.Errorf("globalfunc: compute: %w", err)
+	}
+	val, err := collectValue(res.Results)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Value: val, Trees: f.Trees(), Partition: *pm, Compute: res.Metrics}
+	out.Total = *pm
+	out.Total.Add(&res.Metrics)
+	return out, nil
+}
+
+// stageProgram runs the local stage (tree convergecast under the §7.1
+// barrier) followed by the global stage (channel scheduling of the roots).
+func stageProgram(f *forest.Forest, op Op, in Inputs, stage Stage, knownRoots int) sim.Program {
+	children := f.Children()
+	return func(c *sim.Ctx) error {
+		id := c.ID()
+		isRoot := f.Parent[id] == -1
+		partial := in(id)
+		reports := 0
+		sentUp := false
+
+		// Local stage: convergecast partials to the cores; the barrier's
+		// idle pulse tells every node the stage has globally ended.
+		pulse := sim.BarrierStep(c, sim.Input{}, func(step sim.Input) bool {
+			for _, m := range step.Msgs {
+				partial = op.Combine(partial, m.Payload.(int64))
+				reports++
+			}
+			if !sentUp && reports == len(children[id]) {
+				sentUp = true
+				if !isRoot {
+					c.SendTo(f.Parent[id], partial)
+				}
+			}
+			return false
+		})
+
+		// Global stage: roots broadcast partials on the channel.
+		var sched []resolve.ScheduledItem
+		switch stage {
+		case StageCapetanakis:
+			sched, _ = resolve.Capetanakis(c, pulse, c.N(), isRoot, int(id), partial)
+		case StageMetcalfeBoggs:
+			estimate := knownRoots
+			if estimate == 0 {
+				estimate = partition.SqrtN(c.N())
+			}
+			sched, _, _ = resolve.MetcalfeBoggs(c, pulse, estimate, isRoot, int(id), partial, 0)
+		default:
+			return fmt.Errorf("unknown stage %d", stage)
+		}
+		acc := sched[0].Payload.(int64)
+		for _, s := range sched[1:] {
+			acc = op.Combine(acc, s.Payload.(int64))
+		}
+		c.SetResult(acc)
+		return nil
+	}
+}
+
+// BalancedPhaseCount is the §5.1 balance: stop the deterministic partition
+// once fragments reach size √(n·log₂n / log*n), so the global stage's
+// O(#roots·log n) scheduling matches the local stage's O(radius).
+func BalancedPhaseCount(n int) int {
+	logStar := 1
+	v := float64(n)
+	for v > 2 {
+		logStar++
+		v = math.Log2(v)
+		if logStar > 6 {
+			break
+		}
+	}
+	size := math.Sqrt(float64(n) * math.Log2(float64(n)) / float64(logStar))
+	p := int(math.Ceil(math.Log2(size)))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}

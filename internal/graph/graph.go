@@ -1,0 +1,187 @@
+// Package graph provides the weighted undirected graph substrate used by all
+// multimedia-network algorithms: construction, generators for the topologies
+// the paper evaluates on (rings, grids, random connected graphs, ray graphs),
+// breadth-first search, diameter computation, and a reference Kruskal MST.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; nodes are numbered 0..n-1 as in the paper's
+// model, where ids are unique and representable in O(log n) bits.
+type NodeID int
+
+// Weight is an edge weight. The paper assumes distinct weights w.l.o.g.; all
+// generators in this package produce distinct weights.
+type Weight int64
+
+// Edge is an undirected weighted edge between U and V.
+type Edge struct {
+	U, V   NodeID
+	Weight Weight
+}
+
+// Other returns the endpoint of e that is not v.
+func (e Edge) Other(v NodeID) NodeID {
+	if e.U == v {
+		return e.V
+	}
+	return e.U
+}
+
+// Half is one direction of an edge as seen from a node's adjacency list.
+type Half struct {
+	To     NodeID
+	Weight Weight
+	EdgeID int // index into Graph.Edges()
+}
+
+// Graph is an immutable simple undirected weighted graph. Adjacency lists
+// are sorted by ascending weight, matching the paper's assumption that each
+// node scans its "ordered list of links".
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]Half
+}
+
+// ErrDuplicateEdge is returned when an edge between the same pair is added twice.
+var ErrDuplicateEdge = errors.New("graph: duplicate edge")
+
+// ErrSelfLoop is returned when a self-loop is added.
+var ErrSelfLoop = errors.New("graph: self-loop")
+
+// ErrNodeRange is returned when an endpoint is outside [0, n).
+var ErrNodeRange = errors.New("graph: node out of range")
+
+// ErrDuplicateWeight is returned when two edges share a weight; the paper
+// assumes distinct weights so the MST is unique.
+var ErrDuplicateWeight = errors.New("graph: duplicate weight")
+
+// Builder incrementally assembles a Graph.
+type Builder struct {
+	n     int
+	edges []Edge
+	seen  map[[2]NodeID]bool
+	err   error
+}
+
+// NewBuilder returns a Builder for a graph on n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, seen: make(map[[2]NodeID]bool)}
+}
+
+// AddEdge adds the undirected edge {u, v} with weight w. Errors are sticky
+// and reported by Build.
+func (b *Builder) AddEdge(u, v NodeID, w Weight) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if u == v {
+		b.err = fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+		return b
+	}
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		b.err = fmt.Errorf("%w: edge {%d,%d} with n=%d", ErrNodeRange, u, v, b.n)
+		return b
+	}
+	key := normPair(u, v)
+	if b.seen[key] {
+		b.err = fmt.Errorf("%w: {%d,%d}", ErrDuplicateEdge, u, v)
+		return b
+	}
+	b.seen[key] = true
+	b.edges = append(b.edges, Edge{U: u, V: v, Weight: w})
+	return b
+}
+
+func normPair(u, v NodeID) [2]NodeID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]NodeID{u, v}
+}
+
+// Build validates and returns the graph. Weights must be pairwise distinct.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.n <= 0 {
+		return nil, fmt.Errorf("graph: n must be positive, got %d", b.n)
+	}
+	weights := make(map[Weight]int, len(b.edges))
+	for i, e := range b.edges {
+		if j, ok := weights[e.Weight]; ok {
+			return nil, fmt.Errorf("%w: weight %d on edges %d and %d", ErrDuplicateWeight, e.Weight, j, i)
+		}
+		weights[e.Weight] = i
+	}
+	g := &Graph{
+		n:     b.n,
+		edges: append([]Edge(nil), b.edges...),
+		adj:   make([][]Half, b.n),
+	}
+	for id, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], Half{To: e.V, Weight: e.Weight, EdgeID: id})
+		g.adj[e.V] = append(g.adj[e.V], Half{To: e.U, Weight: e.Weight, EdgeID: id})
+	}
+	for v := range g.adj {
+		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i].Weight < g.adj[v][j].Weight })
+	}
+	return g, nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge list. The caller must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Adj returns the adjacency list of v sorted by ascending weight. The caller
+// must not modify it.
+func (g *Graph) Adj(v NodeID) []Half { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u < 0 || int(u) >= g.n || v < 0 || int(v) >= g.n {
+		return false
+	}
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Connected reports whether the graph is connected. The paper's network is a
+// single connected component.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return false
+	}
+	bfs := NewBFS(g, 0)
+	return bfs.Reached() == g.n
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() Weight {
+	var sum Weight
+	for _, e := range g.edges {
+		sum += e.Weight
+	}
+	return sum
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustBuild(t *testing.T, b *Builder) *Graph {
+	t.Helper()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := mustBuild(t, NewBuilder(3).AddEdge(0, 1, 5).AddEdge(1, 2, 3))
+	if g.N() != 3 {
+		t.Errorf("N = %d, want 3", g.N())
+	}
+	if g.M() != 2 {
+		t.Errorf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("missing edge {0,1}")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("unexpected edge {0,2}")
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+	if got := g.TotalWeight(); got != 8 {
+		t.Errorf("TotalWeight = %d, want 8", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		b    *Builder
+		want error
+	}{
+		{"self loop", NewBuilder(2).AddEdge(1, 1, 1), ErrSelfLoop},
+		{"duplicate edge", NewBuilder(2).AddEdge(0, 1, 1).AddEdge(1, 0, 2), ErrDuplicateEdge},
+		{"node out of range", NewBuilder(2).AddEdge(0, 2, 1), ErrNodeRange},
+		{"negative node", NewBuilder(2).AddEdge(-1, 0, 1), ErrNodeRange},
+		{"duplicate weight", NewBuilder(3).AddEdge(0, 1, 7).AddEdge(1, 2, 7), ErrDuplicateWeight},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.b.Build(); !errors.Is(err, tt.want) {
+				t.Errorf("Build err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestBuilderEmptyGraph(t *testing.T) {
+	if _, err := NewBuilder(0).Build(); err == nil {
+		t.Error("Build on 0 nodes should error")
+	}
+	g := mustBuild(t, NewBuilder(1))
+	if g.N() != 1 || g.M() != 0 {
+		t.Errorf("singleton graph: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestAdjacencySortedByWeight(t *testing.T) {
+	g := mustBuild(t, NewBuilder(4).
+		AddEdge(0, 1, 30).AddEdge(0, 2, 10).AddEdge(0, 3, 20))
+	adj := g.Adj(0)
+	if len(adj) != 3 {
+		t.Fatalf("len(adj) = %d, want 3", len(adj))
+	}
+	for i := 1; i < len(adj); i++ {
+		if adj[i-1].Weight >= adj[i].Weight {
+			t.Errorf("adjacency not weight-sorted: %v", adj)
+		}
+	}
+	if adj[0].To != 2 || adj[1].To != 3 || adj[2].To != 1 {
+		t.Errorf("adjacency order = %v, want [2 3 1]", adj)
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 3, V: 7, Weight: 1}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Errorf("Other mismatch: %v", e)
+	}
+}
+
+func TestHalfEdgeIDsConsistent(t *testing.T) {
+	g := mustBuild(t, NewBuilder(3).AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(0, 2, 3))
+	for v := 0; v < g.N(); v++ {
+		for _, h := range g.Adj(NodeID(v)) {
+			e := g.Edge(h.EdgeID)
+			if e.Other(NodeID(v)) != h.To || e.Weight != h.Weight {
+				t.Errorf("half edge %+v inconsistent with edge %+v at node %d", h, e, v)
+			}
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	conn := mustBuild(t, NewBuilder(3).AddEdge(0, 1, 1).AddEdge(1, 2, 2))
+	if !conn.Connected() {
+		t.Error("path should be connected")
+	}
+	disc := mustBuild(t, NewBuilder(4).AddEdge(0, 1, 1).AddEdge(2, 3, 2))
+	if disc.Connected() {
+		t.Error("two components should not be connected")
+	}
+}

@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MST is the result of a minimum-spanning-tree computation: the chosen edge
+// ids and their total weight. With distinct weights the MST is unique, so it
+// serves as ground truth for the distributed algorithms.
+type MST struct {
+	EdgeIDs []int // sorted ascending
+	Total   Weight
+}
+
+// Kruskal computes the MST of a connected graph with the classic sequential
+// algorithm (sort edges, union-find). It returns an error if g is not
+// connected.
+func Kruskal(g *Graph) (*MST, error) {
+	if !g.Connected() {
+		return nil, fmt.Errorf("graph: kruskal requires a connected graph")
+	}
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return g.Edge(order[a]).Weight < g.Edge(order[b]).Weight
+	})
+	uf := NewUnionFind(g.N())
+	mst := &MST{}
+	for _, id := range order {
+		e := g.Edge(id)
+		if uf.Union(int(e.U), int(e.V)) {
+			mst.EdgeIDs = append(mst.EdgeIDs, id)
+			mst.Total += e.Weight
+			if len(mst.EdgeIDs) == g.N()-1 {
+				break
+			}
+		}
+	}
+	sort.Ints(mst.EdgeIDs)
+	return mst, nil
+}
+
+// Contains reports whether edge id belongs to the MST.
+func (m *MST) Contains(id int) bool {
+	i := sort.SearchInts(m.EdgeIDs, id)
+	return i < len(m.EdgeIDs) && m.EdgeIDs[i] == id
+}
+
+// Equal reports whether two MSTs consist of exactly the same edges.
+func (m *MST) Equal(other *MST) bool {
+	if len(m.EdgeIDs) != len(other.EdgeIDs) || m.Total != other.Total {
+		return false
+	}
+	for i, id := range m.EdgeIDs {
+		if other.EdgeIDs[i] != id {
+			return false
+		}
+	}
+	return true
+}

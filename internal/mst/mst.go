@@ -1,0 +1,290 @@
+// Package mst implements §6: a deterministic minimum-spanning-tree
+// algorithm for multimedia networks, a distributed realization of Kruskal's
+// algorithm. Three stages:
+//
+//  1. the deterministic partition (§3) builds O(√n) initial fragments, each
+//     a rooted subtree of the MST;
+//  2. the fragment cores are scheduled on the channel with Capetanakis tree
+//     splitting, giving every node the full ordered core list;
+//  3. O(log n) merge phases: each initial fragment convergecasts its
+//     minimum-weight link leaving its *current* fragment, the cores
+//     broadcast these minima in their assigned slots, and every node
+//     locally replays the same union-find merge — so fragment bookkeeping
+//     needs no further communication, exactly as the paper observes.
+//
+// The algorithm runs in O(√n·log n) time and O(m + n·log n·log*n) messages.
+package mst
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/forest"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/resolve"
+	"repro/internal/sim"
+)
+
+// Result is the outcome of a distributed MST computation.
+type Result struct {
+	MST              *graph.MST
+	InitialFragments int
+	Phases           int
+	Partition        sim.Metrics // stage-1 costs
+	Merge            sim.Metrics // stage-2 + stage-3 costs
+	Total            sim.Metrics
+}
+
+// message payloads.
+type (
+	mFragExchange struct{ Frag graph.NodeID } // part 1: init fragment across each link
+	mMin          struct {                    // convergecast candidate
+		Valid  bool
+		W      graph.Weight
+		Edge   int
+		Target graph.NodeID // target's *initial* fragment
+	}
+	mSlot struct { // core's channel broadcast
+		Valid    bool
+		CurFrag  graph.NodeID
+		W        graph.Weight
+		Edge     int
+		TargetCF graph.NodeID
+	}
+)
+
+// Multimedia computes the MST of g with the §6 algorithm.
+func Multimedia(g *graph.Graph, seed int64) (*Result, error) {
+	f, pm, _, err := partition.Deterministic(g, seed)
+	if err != nil {
+		return nil, fmt.Errorf("mst: partition: %w", err)
+	}
+	return finish(g, seed, f, pm)
+}
+
+// MultimediaFromForest runs stages 2–3 on a caller-supplied partition (used
+// by the ablation experiments to swap in the randomized partition; note the
+// §3 subtree-of-MST property is then only guaranteed if the forest's trees
+// are MST subtrees).
+func MultimediaFromForest(g *graph.Graph, seed int64, f *forest.Forest, pm *sim.Metrics) (*Result, error) {
+	return finish(g, seed, f, pm)
+}
+
+func finish(g *graph.Graph, seed int64, f *forest.Forest, pm *sim.Metrics) (*Result, error) {
+	phases := 0
+	res, err := sim.Run(g, mergeProgram(f, &phases), sim.WithSeed(seed+1))
+	if err != nil {
+		return nil, fmt.Errorf("mst: merge: %w", err)
+	}
+	mst, err := assemble(g, res.Results)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		MST:              mst,
+		InitialFragments: f.Trees(),
+		Phases:           phases,
+		Partition:        *pm,
+		Merge:            res.Metrics,
+	}
+	out.Total = *pm
+	out.Total.Add(&res.Metrics)
+	return out, nil
+}
+
+// assemble merges the per-node incident MST edge lists into one edge set.
+func assemble(g *graph.Graph, results []any) (*graph.MST, error) {
+	seen := make(map[int]bool)
+	for v, r := range results {
+		ids, ok := r.([]int)
+		if !ok {
+			return nil, fmt.Errorf("mst: node %d recorded %T, want []int", v, r)
+		}
+		for _, id := range ids {
+			seen[id] = true
+		}
+	}
+	mst := &graph.MST{}
+	for id := range seen {
+		mst.EdgeIDs = append(mst.EdgeIDs, id)
+		mst.Total += g.Edge(id).Weight
+	}
+	sort.Ints(mst.EdgeIDs)
+	if len(mst.EdgeIDs) != g.N()-1 {
+		return nil, fmt.Errorf("mst: assembled %d edges, want %d", len(mst.EdgeIDs), g.N()-1)
+	}
+	return mst, nil
+}
+
+// mergeProgram runs stages 2 and 3 of §6 on every node.
+func mergeProgram(f *forest.Forest, phasesOut *int) sim.Program {
+	children := f.Children()
+	return func(c *sim.Ctx) error {
+		id := c.ID()
+		n := c.N()
+		isCore := f.Parent[id] == -1
+		initFrag := f.Root(id)
+		kids := children[id]
+
+		// Incident MST edges discovered so far: the initial fragment's tree
+		// edge to the parent is an MST edge (§3 property 1).
+		mstEdges := make(map[int]bool)
+		if f.ParentEdge[id] != -1 {
+			mstEdges[f.ParentEdge[id]] = true
+		}
+
+		// Stage 2: schedule the cores; everyone learns the ordered core list.
+		sched, in := resolve.Capetanakis(c, sim.Input{}, n, isCore, int(id), nil)
+		k := len(sched)
+		slotOf := -1
+		fragIndex := make(map[graph.NodeID]int, k)
+		for i, s := range sched {
+			fragIndex[graph.NodeID(s.ID)] = i
+			if graph.NodeID(s.ID) == id {
+				slotOf = i
+			}
+		}
+
+		// Stage 3 part 1: learn the initial fragment across every link.
+		for l := range c.Adj() {
+			c.Send(l, mFragExchange{Frag: initFrag})
+		}
+		in = c.Tick()
+		linkFrag := make(map[int]graph.NodeID, c.Degree()) // edge id -> init frag
+		for _, m := range in.Msgs {
+			linkFrag[m.EdgeID] = m.Payload.(mFragExchange).Frag
+		}
+
+		// Replicated union-find over initial fragments (by schedule index).
+		uf := graph.NewUnionFind(k)
+		curOf := func(fr graph.NodeID) int { return uf.Find(fragIndex[fr]) }
+
+		// Stage 3 part 2: merge phases.
+		phases := 0
+		for uf.Sets() > 1 {
+			phases++
+			// Step 1: convergecast the fragment's minimum link leaving the
+			// current fragment, under the channel barrier.
+			myCur := curOf(initFrag)
+			best := mMin{Valid: false, W: graph.Weight(int64(^uint64(0) >> 1))}
+			for _, h := range c.Adj() {
+				other, ok := linkFrag[h.EdgeID]
+				if !ok || curOf(other) == myCur {
+					continue
+				}
+				if !best.Valid || h.Weight < best.W {
+					best = mMin{Valid: true, W: h.Weight, Edge: h.EdgeID, Target: other}
+				}
+			}
+			reports := 0
+			sentUp := false
+			in = sim.BarrierStep(c, in, func(step sim.Input) bool {
+				for _, m := range step.Msgs {
+					p, ok := m.Payload.(mMin)
+					if !ok {
+						continue // e.g. the part-1 exchange input replayed on entry
+					}
+					reports++
+					if p.Valid && (!best.Valid || p.W < best.W) {
+						best = p
+					}
+				}
+				if !sentUp && reports == len(kids) {
+					sentUp = true
+					if !isCore {
+						c.SendTo(f.Parent[id], best)
+					}
+				}
+				return false
+			})
+
+			// Step 2: cores broadcast in their assigned slots; everyone
+			// collects all k minima.
+			heard := make([]mSlot, 0, k)
+			for slot := 0; slot < k; slot++ {
+				if slot == slotOf {
+					s := mSlot{Valid: best.Valid, CurFrag: graph.NodeID(myCur)}
+					if best.Valid {
+						s.W, s.Edge, s.TargetCF = best.W, best.Edge, graph.NodeID(curOf(best.Target))
+					}
+					c.Broadcast(s)
+				}
+				in = c.Tick()
+				if in.Slot.State == sim.SlotSuccess {
+					if p, ok := in.Slot.Payload.(mSlot); ok && p.Valid {
+						heard = append(heard, p)
+					}
+				}
+			}
+
+			// Local: the minimum per current fragment is an MST edge; merge.
+			type pick struct {
+				w      graph.Weight
+				edge   int
+				target int
+			}
+			mins := make(map[int]pick)
+			for _, h := range heard {
+				cf := int(h.CurFrag)
+				if p, ok := mins[cf]; !ok || h.W < p.w {
+					mins[cf] = pick{w: h.W, edge: h.Edge, target: int(h.TargetCF)}
+				}
+			}
+			// Replay the merges in a canonical order: every node must end
+			// with identical union-find representatives.
+			cfs := make([]int, 0, len(mins))
+			for cf := range mins {
+				cfs = append(cfs, cf)
+			}
+			sort.Ints(cfs)
+			for _, cf := range cfs {
+				p := mins[cf]
+				uf.Union(cf, p.target)
+				e := c.Graph().Edge(p.edge)
+				if e.U == id || e.V == id {
+					mstEdges[p.edge] = true
+				}
+			}
+			if len(mins) == 0 && uf.Sets() > 1 {
+				return fmt.Errorf("no outgoing links heard with %d fragments left", uf.Sets())
+			}
+		}
+
+		if phasesOut != nil && id == 0 {
+			*phasesOut = phases
+		}
+		out := make([]int, 0, len(mstEdges))
+		for e := range mstEdges {
+			out = append(out, e)
+		}
+		sort.Ints(out)
+		c.SetResult(out)
+		return nil
+	}
+}
+
+// Boruvka wraps the pure point-to-point baseline (the §3 machinery run to
+// completion) into the same Result shape for the experiments.
+func Boruvka(g *graph.Graph, seed int64) (*Result, error) {
+	f, met, info, err := partition.Boruvka(g, seed)
+	if err != nil {
+		return nil, fmt.Errorf("mst: boruvka baseline: %w", err)
+	}
+	mst := &graph.MST{}
+	for _, id := range f.ParentEdge {
+		if id != -1 {
+			mst.EdgeIDs = append(mst.EdgeIDs, id)
+			mst.Total += g.Edge(id).Weight
+		}
+	}
+	sort.Ints(mst.EdgeIDs)
+	return &Result{
+		MST:              mst,
+		InitialFragments: 1,
+		Phases:           info.Phases,
+		Partition:        *met,
+		Merge:            sim.Metrics{},
+		Total:            *met,
+	}, nil
+}

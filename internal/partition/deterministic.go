@@ -1,0 +1,397 @@
+package partition
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// The deterministic partitioning algorithm (§3). The spanning forest is
+// grown in phases; at the start of phase i every fragment (a rooted subtree
+// of the MST) has size ≥ 2^i and radius ≤ 2^{i+3}-1. Each phase:
+//
+//	Step 1    count fragment sizes by broadcast-and-respond; a fragment is
+//	          active iff ⌊log2 size⌋ equals the phase number.
+//	Step 2    each active fragment finds its minimum-weight outgoing edge
+//	          (MWOE) GHS-style: nodes test edges in weight order, same-
+//	          fragment edges are rejected once and forever, and the minimum
+//	          is convergecast to the core. The selected edges define the
+//	          directed fragment graph F; mutually-selected edges are
+//	          resolved toward the higher core id.
+//	Step 3    three-color F by distributed Cole–Vishkin / GPS, each core
+//	          simulating one vertex of F; core-to-core hops travel across
+//	          fragment trees and the selected MWOE links.
+//	Steps 4-5 recolor so the red vertices form an MIS of F containing every
+//	          root (per internal/coloring's combinatorial specification).
+//	Step 6    cut the edge out of every red non-leaf vertex of F; each
+//	          resulting subtree (radius ≤ 4) becomes one new fragment whose
+//	          core is the subtree root's core.
+//	Step 7    physically merge: broadcast the new fragment name, then
+//	          re-root every non-root fragment at its MWOE endpoint and
+//	          attach it across the selected link.
+//
+// Steps are synchronized with the channel barrier of §7.1 (the paper's
+// "synchronizer as termination detector" alternative), so no step needs a
+// precomputed worst-case length.
+
+// DeterministicInfo reports auxiliary facts about a deterministic run.
+type DeterministicInfo struct {
+	Phases   int // phases executed (may stop early when one fragment spans the graph)
+	CVSteps  int // Cole–Vishkin iterations per phase
+	Finished bool
+}
+
+// Payload kinds for the generic up/down value pushes.
+const (
+	pkColor  uint8 = iota + 1 // CV / shift-down color push (parent -> children)
+	pkColor2                  // second color push within one step group
+	pkChildC                  // child color push (children -> parent)
+	pkRed                     // child-is-red OR push (children -> parent)
+	pkChase                   // step-6 new-core pointer chase (parent -> children)
+)
+
+// Message payloads of the deterministic partition.
+type (
+	dCount  struct{}        // down: request subtree sizes
+	dSize   struct{ N int } // up: subtree size
+	dActive struct {        // down: phase activity / early-exit
+		Active bool
+		Done   bool
+	}
+	dTest  struct{ Frag graph.NodeID } // edge test (GHS)
+	dReply struct {                    // test reply
+		Accept bool
+		Frag   graph.NodeID
+	}
+	dMin struct { // up: subtree minimum outgoing edge
+		Valid  bool
+		W      graph.Weight
+		Edge   int
+		Target graph.NodeID
+	}
+	dChosen struct{}                    // routed core -> MWOE endpoint
+	dHook   struct{ Frag graph.NodeID } // across the selected edge
+	dUnhook struct{}                    // across: mutual edge dropped
+	dInfo   struct {                    // up: chosen node's hook report
+		Mutual bool
+		Other  graph.NodeID
+	}
+	dHasKids struct{ Has bool }  // up: fragment has surviving incoming hooks
+	dDrop    struct{ Drop bool } // down: fragment dropped its out-edge
+	dPushD   struct {            // parent-value push, traveling down a tree
+		Kind uint8
+		V    int64
+	}
+	dCross struct { // parent-value push, crossing an MWOE link
+		Kind uint8
+		V    int64
+	}
+	dPushU struct { // parent-value push, traveling up the child's tree
+		Kind uint8
+		V    int64
+	}
+	dChildU struct { // child-value push (down to chosen, across, then up)
+		Kind uint8
+		V    int64
+	}
+	dNewFrag struct{ Core graph.NodeID } // down: adopt new fragment name
+	dReroot  struct{}                    // routed core -> chosen; flips the path
+	dAttach  struct{}                    // across: sender became your tree child
+)
+
+const noWeight = graph.Weight(math.MaxInt64)
+
+// dnode is one node's state in the deterministic partition.
+type dnode struct {
+	c *sim.Ctx
+
+	frag       graph.NodeID // fragment identity == core's node id
+	parentEdge int          // -1 at cores
+	children   map[int]bool // tree child edge ids
+	rejected   map[int]bool // edges known intra-fragment forever
+
+	// Per-phase state.
+	size      int
+	active    bool
+	cand      dMin         // own accepted outgoing candidate
+	best      dMin         // subtree minimum
+	downEdge  int          // child edge toward the subtree minimum; -1 = self
+	outEdge   int          // fragment's selected MWOE (valid at the chosen node)
+	hooks     map[int]bool // edges on which child fragments hooked into me
+	hookFrom  map[int]graph.NodeID
+	chosen    bool
+	mutual    bool
+	mutualOth graph.NodeID
+	hasKids   bool // fragment has F-children (post-unhook), known at core
+	hasOut    bool // fragment selected an MWOE, known at core
+	dropOut   bool // fragment's out-edge dropped (mutual loser or step-6 cut)
+	inF       bool
+	isFRoot   bool
+	color     int64
+	newCore   graph.NodeID
+
+	// parallelMWOE selects the A4 ablation's parallel edge testing.
+	parallelMWOE bool
+}
+
+func newDNode(c *sim.Ctx) *dnode {
+	return &dnode{
+		c:          c,
+		frag:       c.ID(),
+		parentEdge: -1,
+		children:   make(map[int]bool),
+		rejected:   make(map[int]bool),
+	}
+}
+
+func (nd *dnode) isCore() bool { return nd.parentEdge == -1 }
+
+func (nd *dnode) parentLink() int { return nd.c.LinkOf(nd.parentEdge) }
+
+// keepsOut reports whether this node's fragment still owns a live out-edge.
+// At the core it is authoritative; at the chosen node the chosen flag plus
+// the broadcast drop decision give the same answer.
+func (nd *dnode) keepsOut() bool {
+	if nd.isCore() {
+		return nd.hasOut && !nd.dropOut
+	}
+	return nd.chosen && !nd.dropOut
+}
+
+// sendChildren sends p on every tree child edge.
+func (nd *dnode) sendChildren(p sim.Payload) {
+	for e := range nd.children {
+		nd.c.Send(nd.c.LinkOf(e), p)
+	}
+}
+
+// --- Generic barrier-step primitives -----------------------------------
+
+// countStep runs Step 1's broadcast-and-respond: every core learns its
+// fragment size. Leaves respond immediately; inner nodes respond once all
+// children have.
+func (nd *dnode) countStep(in sim.Input) sim.Input {
+	reports := 0
+	sum := 1 // self
+	started := false
+	replied := false
+	return sim.BarrierStep(nd.c, in, func(in sim.Input) bool {
+		for _, m := range in.Msgs {
+			switch p := m.Payload.(type) {
+			case dCount:
+				started = true
+				nd.sendChildren(dCount{})
+			case dSize:
+				reports++
+				sum += p.N
+			}
+		}
+		if nd.isCore() && !started {
+			started = true
+			nd.sendChildren(dCount{})
+		}
+		if started && !replied && reports == len(nd.children) {
+			replied = true
+			if nd.isCore() {
+				nd.size = sum
+			} else {
+				nd.c.Send(nd.parentLink(), dSize{N: sum})
+			}
+		}
+		return false
+	})
+}
+
+// bcastDown floods a payload from the core to its whole fragment. start is
+// evaluated once at the core (return nil to stay silent); on is invoked at
+// every node with each received message and reports whether its payload is
+// the broadcast value to forward. Other message types arriving during the
+// same barrier step (e.g. unhooks crossing fragments) return false and are
+// merely observed. The core sees its own start payload with EdgeID == -1.
+func (nd *dnode) bcastDown(in sim.Input, start func() sim.Payload, on func(m sim.Message) bool) sim.Input {
+	sent := false
+	return sim.BarrierStep(nd.c, in, func(in sim.Input) bool {
+		for _, m := range in.Msgs {
+			if on(m) && !sent {
+				sent = true
+				nd.sendChildren(m.Payload)
+			}
+		}
+		if nd.isCore() && !sent {
+			sent = true
+			if p := start(); p != nil {
+				on(sim.Message{From: nd.c.ID(), EdgeID: -1, Payload: p})
+				nd.sendChildren(p)
+			}
+		}
+		return false
+	})
+}
+
+// convUp aggregates int64 values from the leaves to the core with an
+// associative, commutative combine. own is this node's contribution,
+// evaluated lazily on the first round so that same-step arrivals (absorbed
+// by observe) can influence it... it is evaluated when this node reports.
+func (nd *dnode) convUp(in sim.Input, own func() int64, combine func(a, b int64) int64,
+	wrap func(v int64) sim.Payload, unwrap func(p sim.Payload) (int64, bool), done func(total int64)) sim.Input {
+	reports := 0
+	var acc int64
+	accSet := false
+	replied := false
+	return sim.BarrierStep(nd.c, in, func(in sim.Input) bool {
+		for _, m := range in.Msgs {
+			if v, ok := unwrap(m.Payload); ok {
+				reports++
+				if !accSet {
+					acc, accSet = v, true
+				} else {
+					acc = combine(acc, v)
+				}
+			}
+		}
+		if !replied && reports == len(nd.children) {
+			replied = true
+			if !accSet {
+				acc = own()
+			} else {
+				acc = combine(acc, own())
+			}
+			if nd.isCore() {
+				done(acc)
+			} else {
+				nd.c.Send(nd.parentLink(), wrap(acc))
+			}
+		}
+		return false
+	})
+}
+
+// pushToChildren delivers each in-F core's value to the cores of all its
+// F-children: broadcast down the parent's tree, forward across every
+// surviving hook, then route up the child's tree to its core. Each core
+// returns the value received from its F-parent (ok=false at F-roots and
+// outside F).
+func (nd *dnode) pushToChildren(in sim.Input, kind uint8, value int64) (got int64, ok bool, out sim.Input) {
+	sentDown := false
+	relay := func(v int64) {
+		nd.sendChildren(dPushD{Kind: kind, V: v})
+		for e := range nd.hooks {
+			nd.c.Send(nd.c.LinkOf(e), dCross{Kind: kind, V: v})
+		}
+	}
+	out = sim.BarrierStep(nd.c, in, func(in sim.Input) bool {
+		for _, m := range in.Msgs {
+			switch p := m.Payload.(type) {
+			case dPushD:
+				if p.Kind == kind && !sentDown {
+					sentDown = true
+					relay(p.V)
+				}
+			case dCross:
+				// Accept only on my fragment's live out-edge.
+				if p.Kind == kind && nd.chosen && !nd.dropOut && m.EdgeID == nd.outEdge {
+					if nd.isCore() {
+						got, ok = p.V, true
+					} else {
+						nd.c.Send(nd.parentLink(), dPushU{Kind: kind, V: p.V})
+					}
+				}
+			case dPushU:
+				if p.Kind == kind {
+					if nd.isCore() {
+						got, ok = p.V, true
+					} else {
+						nd.c.Send(nd.parentLink(), dPushU{Kind: kind, V: p.V})
+					}
+				}
+			}
+		}
+		if nd.isCore() && nd.inF && !sentDown {
+			sentDown = true
+			relay(value)
+		}
+		return false
+	})
+	return got, ok, out
+}
+
+// pushToParent delivers each non-root in-F core's value to its F-parent's
+// core: route down to the chosen node, across the MWOE, then aggregate up
+// the parent's tree with the associative combine. Each core returns the
+// aggregate over its F-children (ok=false if it has none).
+func (nd *dnode) pushToParent(in sim.Input, kind uint8, value int64, combine func(a, b int64) int64) (got int64, ok bool, out sim.Input) {
+	started := false
+	out = sim.BarrierStep(nd.c, in, func(in sim.Input) bool {
+		var up *int64 // aggregate to forward toward the core this round
+		add := func(v int64) {
+			if up == nil {
+				up = new(int64)
+				*up = v
+			} else {
+				*up = combine(*up, v)
+			}
+		}
+		route := func(v int64) {
+			if nd.downEdge == -1 { // I am the chosen endpoint
+				nd.c.Send(nd.c.LinkOf(nd.outEdge), dChildU{Kind: kind, V: v})
+			} else {
+				nd.c.Send(nd.c.LinkOf(nd.downEdge), dChildU{Kind: kind, V: v})
+			}
+		}
+		for _, m := range in.Msgs {
+			p, isChild := m.Payload.(dChildU)
+			if !isChild || p.Kind != kind {
+				continue
+			}
+			if m.EdgeID == nd.parentEdge {
+				// Traveling down my own fragment toward the chosen node.
+				route(p.V)
+			} else {
+				// Arriving from a hook or a tree child: aggregate upward.
+				add(p.V)
+			}
+		}
+		if nd.isCore() && nd.inF && !nd.isFRoot && nd.keepsOut() && !started {
+			started = true
+			if nd.downEdge == -1 && nd.chosen {
+				nd.c.Send(nd.c.LinkOf(nd.outEdge), dChildU{Kind: kind, V: value})
+			} else {
+				route(value)
+			}
+		}
+		if up != nil {
+			if nd.isCore() {
+				if !ok {
+					got, ok = *up, true
+				} else {
+					got = combine(got, *up)
+				}
+			} else {
+				nd.c.Send(nd.parentLink(), dChildU{Kind: kind, V: *up})
+			}
+		}
+		return false
+	})
+	return got, ok, out
+}
+
+// cvStepsFor returns the number of Cole–Vishkin iterations that reduce any
+// coloring with values below n to values below six.
+func cvStepsFor(n int) int {
+	maxVal := n - 1
+	steps := 0
+	for maxVal > 5 {
+		maxVal = 2*(bits.Len(uint(maxVal))-1) + 1
+		steps++
+	}
+	return steps
+}
+
+// cvColor mirrors the Cole–Vishkin step of internal/coloring for the
+// distributed fragment version.
+func cvColor(own, father int64) int64 {
+	k := bits.TrailingZeros64(uint64(own ^ father))
+	return int64(k)<<1 | (own >> uint(k) & 1)
+}

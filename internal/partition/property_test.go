@@ -1,0 +1,92 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Property: on arbitrary random connected graphs, the randomized partition
+// always yields a spanning forest within the 4√n radius bound, with every
+// node assigned to exactly one tree rooted at a center.
+func TestRandomizedPartitionProperty(t *testing.T) {
+	prop := func(nRaw, extraRaw uint8, gseed, pseed int64) bool {
+		n := 4 + int(nRaw)%60
+		extra := int(extraRaw) % 80
+		g, err := graph.RandomConnected(n, extra, gseed)
+		if err != nil {
+			return false
+		}
+		f, _, _, err := Randomized(g, pseed)
+		if err != nil {
+			return false
+		}
+		st := f.Stats()
+		if st.MaxRadius > 4*SqrtN(n) {
+			return false
+		}
+		// Roots are their own fragment identity; every node reaches a root.
+		for v := range f.Parent {
+			r := f.Root(graph.NodeID(v))
+			if f.Parent[r] != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the deterministic partition's trees are MST subtrees and the
+// fragment size floor holds on arbitrary random graphs.
+func TestDeterministicPartitionProperty(t *testing.T) {
+	prop := func(nRaw, extraRaw uint8, gseed int64) bool {
+		n := 4 + int(nRaw)%48
+		extra := int(extraRaw) % 64
+		g, err := graph.RandomConnected(n, extra, gseed)
+		if err != nil {
+			return false
+		}
+		f, _, _, err := Deterministic(g, 1)
+		if err != nil {
+			return false
+		}
+		mst, err := graph.Kruskal(g)
+		if err != nil {
+			return false
+		}
+		if err := f.SubtreeOfMST(mst); err != nil {
+			return false
+		}
+		st := f.Stats()
+		if st.Trees > 1 && st.MinSize < SqrtN(n) {
+			return false
+		}
+		return st.Trees <= SqrtN(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the §7.3 size computation is exact on arbitrary graphs.
+func TestSizeCountProperty(t *testing.T) {
+	prop := func(nRaw uint8, gseed int64) bool {
+		n := 4 + int(nRaw)%40
+		g, err := graph.RandomConnected(n, n, gseed)
+		if err != nil {
+			return false
+		}
+		res, _, err := CountNodes(g, 1, 1<<10)
+		if err != nil {
+			return false
+		}
+		return res.N == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

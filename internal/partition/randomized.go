@@ -1,0 +1,389 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/forest"
+	"repro/internal/graph"
+	"repro/internal/resolve"
+	"repro/internal/sim"
+)
+
+// The randomized partitioning algorithm (§4). Iterations are synchronized by
+// their precomputed fixed length (the paper: "the processors can compute the
+// length of each iteration"). Iteration i:
+//
+//  1. every free node flips a coin with probability min(1, E_i/√n) — the
+//     tower E_0 = 1, E_{i+1} = e^{E_i} — and heads become local centers;
+//  2. centers grow BFS trees to depth at most 4√n over free nodes, with
+//     nodes adopting the (distance, least-root-id) minimum and switching
+//     trees only when their label decreases;
+//  3. trees with no outgoing link to an unlabeled free node become unfree
+//     entirely; in all other trees the nodes with label ≤ 2√n become unfree;
+//  4. newly unfree nodes announce themselves so incident links die.
+//
+// Links found internal to a tree without being tree edges are removed for
+// the algorithm's purposes, the paper's message-saving rule. The final
+// iteration uses probability 1, so every node finishes. The result is a
+// spanning forest of trees with radius ≤ 4√n and E[#trees] = O(√n).
+
+const unlabeled = math.MaxInt32
+
+// ErrLasVegasRestarts is returned if the Las Vegas wrapper exceeds its
+// restart budget (probability < 2^-budget per the paper's analysis).
+var ErrLasVegasRestarts = errors.New("partition: las vegas restart budget exhausted")
+
+// RandomizedInfo reports auxiliary facts about a randomized-partition run.
+type RandomizedInfo struct {
+	Iterations int
+	Restarts   int            // Las Vegas only
+	RootOrder  []graph.NodeID // Las Vegas only: the verified channel schedule of cores
+}
+
+// message payloads of the randomized partition.
+type (
+	rpUpdate struct { // BFS wave: sender's root and label
+		Root  graph.NodeID
+		Label int
+	}
+	rpStatus struct { // post-BFS neighbor exchange
+		InTree     bool
+		Root       graph.NodeID
+		ParentLink bool // this link is the sender's tree parent link
+	}
+	rpConv   struct{ HasOutgoing bool } // convergecast: subtree has link to unlabeled free node
+	rpDecide struct{ KeepAll bool }     // root's verdict broadcast down the tree
+	rpUnfree struct{}                   // sender became unfree; link dies
+)
+
+// iterationProbs returns the per-iteration head probabilities: the tower
+// E_i/√n capped at 1. The last entry is exactly 1, guaranteeing termination;
+// there are at most ln* n + O(1) entries.
+func iterationProbs(sqrtN int) []float64 {
+	var probs []float64
+	t := 1.0
+	for {
+		p := t / float64(sqrtN)
+		if p >= 1 {
+			probs = append(probs, 1)
+			return probs
+		}
+		probs = append(probs, p)
+		t = math.Exp(t)
+	}
+}
+
+// rnode is one node's state in the randomized partition.
+type rnode struct {
+	c     *sim.Ctx
+	sqrtN int
+	dmax  int // BFS depth bound 4√n
+	cut   int // unfree label threshold 2√n
+
+	free       bool
+	label      int
+	root       graph.NodeID
+	parentEdge int // graph edge id to parent; -1 for centers/unlabeled
+
+	inTree          bool // labeled in the current iteration's BFS
+	pendingAnnounce bool
+	live            []bool // per local link index
+	childLinks      []int  // local link indices of current-iteration children
+	outcome         NodeOutcome
+	finished        bool
+}
+
+func newRNode(c *sim.Ctx) *rnode {
+	nd := &rnode{
+		c:     c,
+		sqrtN: SqrtN(c.N()),
+		live:  make([]bool, c.Degree()),
+	}
+	nd.dmax = 4 * nd.sqrtN
+	nd.cut = 2 * nd.sqrtN
+	nd.reset()
+	return nd
+}
+
+// reset restores the initial all-free state (used on Las Vegas restarts).
+func (nd *rnode) reset() {
+	nd.free = true
+	nd.label = unlabeled
+	nd.root = -1
+	nd.parentEdge = -1
+	nd.inTree = false
+	nd.pendingAnnounce = false
+	nd.finished = false
+	for l := range nd.live {
+		nd.live[l] = true
+	}
+	nd.childLinks = nil
+	nd.outcome = NodeOutcome{Parent: -1, ParentEdge: -1, Root: -1}
+}
+
+// sendLive sends p on every live link except the one with local index skip
+// (pass -1 to send on all live links).
+func (nd *rnode) sendLive(p sim.Payload, skip int) {
+	for l, ok := range nd.live {
+		if ok && l != skip {
+			nd.c.Send(l, p)
+		}
+	}
+}
+
+func (nd *rnode) parentLinkIdx() int {
+	if nd.parentEdge == -1 {
+		return -1
+	}
+	return nd.c.LinkOf(nd.parentEdge)
+}
+
+// processDead marks links dead for every rpUnfree in the inbox (these arrive
+// in the round after an iteration ends).
+func (nd *rnode) processDead(msgs []sim.Message) {
+	for _, m := range msgs {
+		if _, ok := m.Payload.(rpUnfree); ok {
+			nd.live[nd.c.LinkOf(m.EdgeID)] = false
+		}
+	}
+}
+
+// iteration runs one full synchronized iteration with head probability p.
+// It consumes exactly 3*dmax + 8 rounds on every node.
+func (nd *rnode) iteration(p float64) {
+	c := nd.c
+	nd.inTree = false
+	nd.childLinks = nd.childLinks[:0]
+
+	// Phase A (1 round): coin flip.
+	if nd.free && c.Rand().Float64() < p {
+		nd.label = 0
+		nd.root = c.ID()
+		nd.parentEdge = -1
+		nd.inTree = true
+		nd.pendingAnnounce = true
+	}
+	in := c.Tick()
+
+	// Phase B (dmax+1 rounds): synchronous multi-source BFS over free nodes.
+	for b := 1; b <= nd.dmax+1; b++ {
+		if nd.pendingAnnounce && nd.label < nd.dmax {
+			nd.sendLive(rpUpdate{Root: nd.root, Label: nd.label}, nd.parentLinkIdx())
+		}
+		nd.pendingAnnounce = false
+		in = c.Tick()
+		nd.adopt(in.Msgs)
+	}
+
+	// Phase C (1 round): status exchange on live links.
+	if nd.free {
+		pl := -1
+		if nd.inTree {
+			pl = nd.parentLinkIdx()
+		}
+		for l, ok := range nd.live {
+			if !ok {
+				continue
+			}
+			c.Send(l, rpStatus{InTree: nd.inTree, Root: nd.root, ParentLink: nd.inTree && l == pl})
+		}
+	}
+	in = c.Tick()
+	hasOutgoing, _ := nd.processStatus(in.Msgs)
+
+	// Phase D (dmax+2 rounds): convergecast OR(hasOutgoing) to the root.
+	or := hasOutgoing
+	reports := 0
+	sentUp := false
+	for k := 1; k <= nd.dmax+2; k++ {
+		if nd.inTree && !sentUp && reports == len(nd.childLinks) {
+			if nd.label > 0 {
+				c.Send(nd.parentLinkIdx(), rpConv{HasOutgoing: or})
+			}
+			sentUp = true
+		}
+		in = c.Tick()
+		for _, m := range in.Msgs {
+			if cm, ok := m.Payload.(rpConv); ok {
+				or = or || cm.HasOutgoing
+				reports++
+			}
+		}
+	}
+
+	// Phase E (dmax+2 rounds): root broadcasts the verdict down the tree.
+	keepAll := false
+	decided := nd.inTree && nd.label == 0
+	if decided {
+		keepAll = !or
+	}
+	sentDown := false
+	for k := 1; k <= nd.dmax+2; k++ {
+		if decided && !sentDown {
+			for _, l := range nd.childLinks {
+				c.Send(l, rpDecide{KeepAll: keepAll})
+			}
+			sentDown = true
+		}
+		in = c.Tick()
+		for _, m := range in.Msgs {
+			if dm, ok := m.Payload.(rpDecide); ok {
+				decided = true
+				keepAll = dm.KeepAll
+			}
+		}
+	}
+
+	// Phase F (1 round): newly unfree nodes record their outcome and
+	// announce so incident links die. The announcements arrive in the input
+	// of this phase's tick and are absorbed immediately.
+	if nd.inTree && decided && (keepAll || nd.label <= nd.cut) {
+		nd.free = false
+		nd.finished = true
+		nd.outcome = NodeOutcome{Parent: -1, ParentEdge: -1, Root: nd.root}
+		if nd.label > 0 {
+			e := c.Graph().Edge(nd.parentEdge)
+			nd.outcome.Parent = e.Other(c.ID())
+			nd.outcome.ParentEdge = nd.parentEdge
+		}
+		nd.sendLive(rpUnfree{}, -1)
+	}
+	in = c.Tick()
+	nd.processDead(in.Msgs)
+}
+
+// adopt applies the BFS adoption rule to one round's updates: take the
+// minimum (label+1, root) candidate, switch only if it strictly reduces the
+// label (ties between simultaneous candidates break toward the least root).
+func (nd *rnode) adopt(msgs []sim.Message) {
+	if !nd.free {
+		return
+	}
+	bestLabel, bestRoot, bestEdge := unlabeled, graph.NodeID(-1), -1
+	for _, m := range msgs {
+		u, ok := m.Payload.(rpUpdate)
+		if !ok {
+			continue
+		}
+		cand := u.Label + 1
+		if cand < bestLabel || (cand == bestLabel && u.Root < bestRoot) {
+			bestLabel, bestRoot, bestEdge = cand, u.Root, m.EdgeID
+		}
+	}
+	if bestEdge != -1 && bestLabel < nd.label {
+		nd.label = bestLabel
+		nd.root = bestRoot
+		nd.parentEdge = bestEdge
+		nd.inTree = true
+		nd.pendingAnnounce = true
+	}
+}
+
+// processStatus digests the post-BFS exchange: learn children, detect
+// outgoing links to unlabeled free nodes, and remove links internal to the
+// tree that are not tree edges (the paper's message-saving rule).
+func (nd *rnode) processStatus(msgs []sim.Message) (hasOutgoing bool, removed int) {
+	pl := -1
+	if nd.inTree {
+		pl = nd.parentLinkIdx()
+	}
+	childSet := make(map[int]bool)
+	for _, m := range msgs {
+		st, ok := m.Payload.(rpStatus)
+		if !ok {
+			continue
+		}
+		l := nd.c.LinkOf(m.EdgeID)
+		if nd.inTree && st.ParentLink {
+			nd.childLinks = append(nd.childLinks, l)
+			childSet[l] = true
+		}
+	}
+	for _, m := range msgs {
+		st, ok := m.Payload.(rpStatus)
+		if !ok {
+			continue
+		}
+		l := nd.c.LinkOf(m.EdgeID)
+		switch {
+		case !st.InTree:
+			if nd.inTree {
+				hasOutgoing = true
+			}
+		case nd.inTree && st.Root == nd.root && l != pl && !childSet[l]:
+			nd.live[l] = false
+			removed++
+		}
+	}
+	return hasOutgoing, removed
+}
+
+// randomizedProgram runs the Monte Carlo partition; if lasVegas is true it
+// appends the §4 verification (schedule the cores on the channel for 8√n
+// slots via Metcalfe–Boggs; restart unless all cores were scheduled and
+// there are at most 2√n of them).
+func randomizedProgram(lasVegas bool, maxRestarts int, infoSink func(RandomizedInfo)) sim.Program {
+	return func(c *sim.Ctx) error {
+		nd := newRNode(c)
+		probs := iterationProbs(nd.sqrtN)
+		info := RandomizedInfo{Iterations: len(probs)}
+		for attempt := 0; ; attempt++ {
+			for _, p := range probs {
+				nd.iteration(p)
+			}
+			if !nd.finished {
+				return fmt.Errorf("node %d still free after final iteration", c.ID())
+			}
+			if !lasVegas {
+				break
+			}
+			isRoot := nd.outcome.ParentEdge == -1
+			sched, done, _ := resolve.MetcalfeBoggs(c, sim.Input{}, nd.sqrtN, isRoot, int(c.ID()), nil, 4*nd.sqrtN)
+			if done && len(sched) <= 2*nd.sqrtN {
+				info.RootOrder = make([]graph.NodeID, len(sched))
+				for i, s := range sched {
+					info.RootOrder[i] = graph.NodeID(s.ID)
+				}
+				break
+			}
+			info.Restarts++
+			if attempt+1 >= maxRestarts {
+				return fmt.Errorf("%w after %d attempts", ErrLasVegasRestarts, maxRestarts)
+			}
+			nd.reset()
+		}
+		c.SetResult(nd.outcome)
+		if infoSink != nil && c.ID() == 0 {
+			infoSink(info)
+		}
+		return nil
+	}
+}
+
+// Randomized runs the Monte Carlo randomized partition (§4) and returns the
+// spanning forest, the run's metrics, and auxiliary info.
+func Randomized(g *graph.Graph, seed int64) (*forest.Forest, *sim.Metrics, *RandomizedInfo, error) {
+	var info RandomizedInfo
+	f, met, _, err := runAndBuild(g, randomizedProgram(false, 1, func(i RandomizedInfo) { info = i }),
+		sim.WithSeed(seed))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return f, met, &info, nil
+}
+
+// RandomizedLasVegas runs the Las Vegas variant: the partition is verified
+// by scheduling the cores on the channel and restarted until at most 2√n
+// trees were produced, so the returned forest always satisfies the balance
+// bound. The verified core schedule is returned in the info.
+func RandomizedLasVegas(g *graph.Graph, seed int64) (*forest.Forest, *sim.Metrics, *RandomizedInfo, error) {
+	var info RandomizedInfo
+	f, met, _, err := runAndBuild(g, randomizedProgram(true, 50, func(i RandomizedInfo) { info = i }),
+		sim.WithSeed(seed))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return f, met, &info, nil
+}

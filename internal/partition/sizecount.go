@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/resolve"
+	"repro/internal/sim"
+)
+
+// §7.3: a deterministic algorithm for computing the network size when n is
+// not known in advance. The deterministic partition runs phase by phase; at
+// the end of phase i the cores attempt to schedule themselves on the channel
+// with a Capetanakis budget proportional to 2^i (times the id length). Once
+// the schedule completes with at most 2^i cores, sizes are re-counted and
+// broadcast in schedule order; their sum is n. The nodes use only an upper
+// bound U on the id universe (ids are O(log n) bits), never n itself.
+
+// SizeCountResult is what every node learns from the §7.3 algorithm.
+type SizeCountResult struct {
+	N      int // the computed network size
+	Phases int // partition phases executed before the probe succeeded
+}
+
+// sizeSlot carries one core's fragment size during the final summation.
+type sizeSlot struct{ Size int }
+
+const maxSizePhases = 40 // safety cap; the probe succeeds near log(n)/2
+
+// CountNodes runs the §7.3 deterministic size computation and returns the
+// value of n every node computed, with run metrics.
+func CountNodes(g *graph.Graph, seed int64, idUniverse int) (*SizeCountResult, *sim.Metrics, error) {
+	if idUniverse < g.N() {
+		return nil, nil, fmt.Errorf("partition: id universe %d below node count %d", idUniverse, g.N())
+	}
+	res, err := sim.Run(g, sizeProgram(idUniverse), sim.WithSeed(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	first, ok := res.Results[0].(SizeCountResult)
+	if !ok {
+		return nil, nil, fmt.Errorf("partition: node 0 recorded %T", res.Results[0])
+	}
+	for v, r := range res.Results {
+		if r != first {
+			return nil, nil, fmt.Errorf("partition: node %d computed %+v, node 0 %+v", v, r, first)
+		}
+	}
+	return &first, &res.Metrics, nil
+}
+
+func sizeProgram(idUniverse int) sim.Program {
+	return func(c *sim.Ctx) error {
+		nd := newDNode(c)
+		cvIters := cvStepsFor(idUniverse)
+		idBits := bits.Len(uint(idUniverse - 1))
+		in := sim.Input{}
+		for i := 0; i < maxSizePhases; i++ {
+			_, next := nd.phase(in, i, cvIters)
+			in = next
+			// Probe: can the cores be scheduled within the phase budget?
+			budget := 2*(1<<uint(min(i, 30)))*(idBits+2) + 4
+			sched, complete, next2 := resolve.CapetanakisBounded(
+				c, in, idUniverse, nd.isCore(), int(c.ID()), nil, budget)
+			in = next2
+			if !complete || len(sched) > 1<<uint(min(i, 30)) {
+				continue
+			}
+			// Success: re-count fragment sizes and broadcast them in
+			// schedule order; the sum is n.
+			in = nd.countStep(in)
+			total := 0
+			for _, s := range sched {
+				if graph.NodeID(s.ID) == c.ID() {
+					c.Broadcast(sizeSlot{Size: nd.size})
+				}
+				in = c.Tick()
+				if in.Slot.State != sim.SlotSuccess {
+					return fmt.Errorf("size slot for core %d was %v", s.ID, in.Slot.State)
+				}
+				total += in.Slot.Payload.(sizeSlot).Size
+			}
+			c.SetResult(SizeCountResult{N: total, Phases: i + 1})
+			return nil
+		}
+		return fmt.Errorf("size probe never succeeded within %d phases", maxSizePhases)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

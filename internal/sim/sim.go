@@ -1,0 +1,454 @@
+// Package sim implements the synchronous multimedia-network simulator of the
+// paper's model (§2): an arbitrary-topology point-to-point message-passing
+// network combined with a slotted multiaccess collision channel.
+//
+// Execution proceeds in lock-step rounds. In every round each node reads the
+// messages sent to it in the previous round together with the previous
+// slot's resolution, computes, and then sends at most one message per
+// incident link and optionally writes the channel slot. A slot resolves to
+// Idle (no writers), Success (exactly one writer — its payload is heard by
+// every node), or Collision (two or more writers — detected by every node).
+//
+// Each node runs its program as a goroutine against a blocking Ctx: Tick
+// commits the current round and blocks until the engine delivers the next
+// round's input. Within a round nodes touch only their own state, so runs
+// are deterministic for a given seed regardless of goroutine scheduling.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Payload is the application-defined content of a point-to-point message or
+// a channel slot. The model bounds payloads by O(log n) bits plus one data
+// element; programs keep payloads to a constant number of ids and weights.
+type Payload any
+
+// Message is a point-to-point message as seen by its recipient.
+type Message struct {
+	From    graph.NodeID
+	EdgeID  int // id of the link it arrived on (index into the graph's edge list)
+	Payload Payload
+}
+
+// SlotState is the resolution of one multiaccess channel slot.
+type SlotState int
+
+// Slot states, in the paper's terminology.
+const (
+	SlotIdle SlotState = iota + 1
+	SlotSuccess
+	SlotCollision
+)
+
+// String returns the paper's name for the state.
+func (s SlotState) String() string {
+	switch s {
+	case SlotIdle:
+		return "idle"
+	case SlotSuccess:
+		return "success"
+	case SlotCollision:
+		return "collision"
+	default:
+		return fmt.Sprintf("SlotState(%d)", int(s))
+	}
+}
+
+// Slot is the globally-visible outcome of one channel slot. From and Payload
+// are meaningful only when State == SlotSuccess.
+type Slot struct {
+	State   SlotState
+	From    graph.NodeID
+	Payload Payload
+}
+
+// BusyTone is the distinguished payload nodes transmit on the channel to
+// keep a slot non-idle, implementing the channel-as-synchronizer barrier of
+// §7.1: an idle slot is a global clock pulse.
+type BusyTone struct{}
+
+// Input is what a node receives at the start of a round: the messages sent
+// to it in the previous round (sorted by sender id, then edge id) and the
+// previous slot's resolution.
+type Input struct {
+	Round int // the round now beginning (first Tick returns Round == 1)
+	Msgs  []Message
+	Slot  Slot
+}
+
+// Metrics aggregates the paper's complexity measures over one run.
+type Metrics struct {
+	Rounds         int   // time complexity: number of rounds executed
+	Messages       int64 // point-to-point message complexity
+	SlotsIdle      int64
+	SlotsSuccess   int64
+	SlotsCollision int64
+	DroppedHalted  int64 // messages addressed to already-halted nodes
+}
+
+// Slots returns the total number of channel slots with at least one writer.
+func (m *Metrics) Slots() int64 { return m.SlotsSuccess + m.SlotsCollision }
+
+// Communication returns the paper's communication complexity: messages plus
+// time (information received over both media).
+func (m *Metrics) Communication() int64 { return m.Messages + int64(m.Rounds) }
+
+// Add accumulates other into m (used to total multi-stage algorithms).
+func (m *Metrics) Add(other *Metrics) {
+	m.Rounds += other.Rounds
+	m.Messages += other.Messages
+	m.SlotsIdle += other.SlotsIdle
+	m.SlotsSuccess += other.SlotsSuccess
+	m.SlotsCollision += other.SlotsCollision
+	m.DroppedHalted += other.DroppedHalted
+}
+
+// Program is the code run by every node. It must communicate only through
+// its Ctx and may keep arbitrary local state. Returning a non-nil error
+// aborts the entire run. Programs typically branch on ctx.ID().
+type Program func(ctx *Ctx) error
+
+// ErrMaxRounds is returned by Run when the round budget is exhausted before
+// every node halts, which almost always indicates a livelocked protocol.
+var ErrMaxRounds = errors.New("sim: maximum round count exceeded")
+
+// errAborted is the sentinel panic used to unwind node goroutines when the
+// run aborts; it never escapes the engine.
+var errAborted = errors.New("sim: run aborted")
+
+type config struct {
+	seed      int64
+	maxRounds int
+}
+
+// Option configures a run.
+type Option func(*config)
+
+// WithSeed sets the master seed from which every node's private RNG is
+// derived. Runs with equal seeds are bit-for-bit reproducible.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithMaxRounds overrides the default round budget (a deadlock guard).
+func WithMaxRounds(r int) Option { return func(c *config) { c.maxRounds = r } }
+
+type outMsg struct {
+	edgeID  int
+	to      graph.NodeID
+	payload Payload
+}
+
+// Ctx is a node's handle to the network. All methods must be called only
+// from that node's program goroutine. Methods panic on model violations
+// (two sends on one link in a round, two channel writes in a round); these
+// are programming errors, not runtime conditions.
+type Ctx struct {
+	id  graph.NodeID
+	g   *graph.Graph
+	rng *rand.Rand
+
+	round     int
+	out       []outMsg
+	sentLink  map[int]bool // edge ids written this round
+	chWrite   Payload
+	chPending bool
+
+	linkByEdge map[int]int          // edge id -> local link index
+	linkByPeer map[graph.NodeID]int // neighbor id -> local link index
+	result     any
+
+	resume chan Input
+	done   chan bool // true = ticked (wants next round), false = halted
+}
+
+// ID returns this node's identifier.
+func (c *Ctx) ID() graph.NodeID { return c.id }
+
+// N returns the number of nodes in the network (known to all nodes, §2).
+func (c *Ctx) N() int { return c.g.N() }
+
+// Graph returns the immutable network topology. Programs that model the
+// weaker anonymous setting must restrict themselves to Adj/Degree.
+func (c *Ctx) Graph() *graph.Graph { return c.g }
+
+// Adj returns this node's incident links sorted by ascending weight — the
+// paper's "ordered list of links".
+func (c *Ctx) Adj() []graph.Half { return c.g.Adj(c.id) }
+
+// Degree returns the number of incident links.
+func (c *Ctx) Degree() int { return c.g.Degree(c.id) }
+
+// Round returns the current round number (0 before the first Tick).
+func (c *Ctx) Round() int { return c.round }
+
+// Rand returns this node's private deterministic RNG.
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// LinkOf returns the local link index of the given edge id.
+func (c *Ctx) LinkOf(edgeID int) int {
+	l, ok := c.linkByEdge[edgeID]
+	if !ok {
+		panic(fmt.Sprintf("sim: node %d has no link with edge id %d", c.id, edgeID))
+	}
+	return l
+}
+
+// Link returns the local link index leading to the given neighbor.
+func (c *Ctx) Link(to graph.NodeID) (int, bool) {
+	l, ok := c.linkByPeer[to]
+	return l, ok
+}
+
+// Send queues a message on the link with the given local index for delivery
+// at the start of the next round. At most one message may be sent per link
+// per round.
+func (c *Ctx) Send(link int, p Payload) {
+	adj := c.Adj()
+	if link < 0 || link >= len(adj) {
+		panic(fmt.Sprintf("sim: node %d send on link %d of %d", c.id, link, len(adj)))
+	}
+	h := adj[link]
+	if c.sentLink[h.EdgeID] {
+		panic(fmt.Sprintf("sim: node %d sent twice on edge %d in round %d", c.id, h.EdgeID, c.round))
+	}
+	c.sentLink[h.EdgeID] = true
+	c.out = append(c.out, outMsg{edgeID: h.EdgeID, to: h.To, payload: p})
+}
+
+// SendTo queues a message to the given neighbor.
+func (c *Ctx) SendTo(to graph.NodeID, p Payload) {
+	l, ok := c.Link(to)
+	if !ok {
+		panic(fmt.Sprintf("sim: node %d is not adjacent to %d", c.id, to))
+	}
+	c.Send(l, p)
+}
+
+// Broadcast writes p to the current channel slot. At most one write per
+// round; the slot resolves to success only if this node is the sole writer.
+func (c *Ctx) Broadcast(p Payload) {
+	if c.chPending {
+		panic(fmt.Sprintf("sim: node %d wrote the channel twice in round %d", c.id, c.round))
+	}
+	c.chPending = true
+	c.chWrite = p
+}
+
+// Busy transmits a busy tone on the channel this round (§7.1 barrier).
+func (c *Ctx) Busy() { c.Broadcast(BusyTone{}) }
+
+// SetResult records this node's final output, retrievable from Run's Results.
+func (c *Ctx) SetResult(v any) { c.result = v }
+
+// Tick commits the current round's sends and channel write, blocks until
+// every node has committed, and returns the next round's input.
+func (c *Ctx) Tick() Input {
+	c.done <- true
+	in, ok := <-c.resume
+	if !ok {
+		panic(errAborted)
+	}
+	c.round = in.Round
+	return in
+}
+
+// Result holds the outcome of a run.
+type Result struct {
+	Metrics Metrics
+	Results []any // per-node values recorded via Ctx.SetResult
+}
+
+// Run executes program on every node of g until all programs return, and
+// returns aggregate metrics and per-node results. The first program error
+// (or panic, or an exhausted round budget) aborts the run.
+func Run(g *graph.Graph, program Program, opts ...Option) (*Result, error) {
+	cfg := config{seed: 1, maxRounds: defaultMaxRounds(g)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := g.N()
+	ctxs := make([]*Ctx, n)
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		ctx := &Ctx{
+			id:         id,
+			g:          g,
+			rng:        rand.New(rand.NewSource(cfg.seed*1_000_003 + int64(v))),
+			sentLink:   make(map[int]bool),
+			linkByEdge: make(map[int]int, g.Degree(id)),
+			linkByPeer: make(map[graph.NodeID]int, g.Degree(id)),
+			resume:     make(chan Input, 1),
+			done:       make(chan bool, 1),
+		}
+		for l, h := range g.Adj(id) {
+			ctx.linkByEdge[h.EdgeID] = l
+			ctx.linkByPeer[h.To] = l
+		}
+		ctxs[v] = ctx
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	recordErr := func(err error) {
+		errMu.Lock()
+		defer errMu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		ctx := ctxs[v]
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if err, ok := r.(error); ok && errors.Is(err, errAborted) {
+						// Clean abort unwind; the primary error is already recorded.
+					} else {
+						recordErr(fmt.Errorf("sim: node %d panicked: %v", ctx.id, r))
+					}
+				}
+				ctx.done <- false
+			}()
+			if err := program(ctx); err != nil {
+				recordErr(fmt.Errorf("sim: node %d: %w", ctx.id, err))
+			}
+		}()
+	}
+
+	res := &Result{Results: make([]any, n)}
+	met := &res.Metrics
+	inboxes := make([][]Message, n)
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	aliveCount := n
+
+	for round := 0; ; round++ {
+		// Wait for every live node to either tick or halt. After receiving a
+		// node's done, reading its Ctx fields is race-free.
+		for v, ctx := range ctxs {
+			if !alive[v] {
+				continue
+			}
+			if ticked := <-ctx.done; !ticked {
+				alive[v] = false
+				aliveCount--
+			}
+		}
+
+		met.Rounds = round + 1
+
+		// Resolve the channel slot.
+		var writer *Ctx
+		writers := 0
+		for _, ctx := range ctxs {
+			if ctx.chPending {
+				writers++
+				writer = ctx
+			}
+		}
+		slot := Slot{State: SlotIdle}
+		switch {
+		case writers == 0:
+			met.SlotsIdle++
+		case writers == 1:
+			met.SlotsSuccess++
+			slot = Slot{State: SlotSuccess, From: writer.id, Payload: writer.chWrite}
+		default:
+			met.SlotsCollision++
+			slot = Slot{State: SlotCollision}
+		}
+
+		// Deliver point-to-point messages.
+		for i := range inboxes {
+			inboxes[i] = nil
+		}
+		for _, ctx := range ctxs {
+			for _, m := range ctx.out {
+				met.Messages++
+				inboxes[m.to] = append(inboxes[m.to], Message{From: ctx.id, EdgeID: m.edgeID, Payload: m.payload})
+			}
+			// Reset per-round node state. Safe: live nodes are blocked in
+			// Tick; halted nodes have returned.
+			ctx.out = ctx.out[:0]
+			clear(ctx.sentLink)
+			ctx.chPending = false
+			ctx.chWrite = nil
+		}
+		for i := range inboxes {
+			box := inboxes[i]
+			sort.Slice(box, func(a, b int) bool {
+				if box[a].From != box[b].From {
+					return box[a].From < box[b].From
+				}
+				return box[a].EdgeID < box[b].EdgeID
+			})
+		}
+
+		if aliveCount == 0 {
+			break
+		}
+
+		errMu.Lock()
+		failed := firstErr != nil
+		errMu.Unlock()
+		if !failed && round+1 > cfg.maxRounds {
+			recordErr(fmt.Errorf("%w: budget %d", ErrMaxRounds, cfg.maxRounds))
+			failed = true
+		}
+		if failed {
+			// Abort: unwind every live goroutine and drain their final dones.
+			for v, ctx := range ctxs {
+				if alive[v] {
+					close(ctx.resume)
+				}
+			}
+			for v, ctx := range ctxs {
+				if alive[v] {
+					<-ctx.done
+					alive[v] = false
+				}
+			}
+			break
+		}
+
+		for v, ctx := range ctxs {
+			if !alive[v] {
+				met.DroppedHalted += int64(len(inboxes[v]))
+				continue
+			}
+			ctx.resume <- Input{Round: round + 1, Msgs: inboxes[v], Slot: slot}
+		}
+	}
+
+	wg.Wait()
+	for v, ctx := range ctxs {
+		res.Results[v] = ctx.result
+	}
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// defaultMaxRounds budgets generously above any algorithm in this module:
+// all are O(n · polylog n) rounds at worst.
+func defaultMaxRounds(g *graph.Graph) int {
+	return 200*g.N() + 20_000
+}

@@ -1,0 +1,66 @@
+// Package size implements §7.3 and §7.4: determining the number of nodes in
+// a multimedia network when n is not known in advance. The deterministic
+// algorithm (§7.3) interleaves the deterministic partition with bounded
+// Capetanakis probes and computes n exactly in O(√n·log|id|) time; the
+// randomized algorithm (§7.4, Greenberg–Ladner) estimates n within a
+// constant factor w.h.p. in O(log n) slots.
+package size
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/resolve"
+	"repro/internal/sim"
+)
+
+// ExactResult is the outcome of the deterministic §7.3 computation.
+type ExactResult struct {
+	N       int
+	Phases  int
+	Metrics sim.Metrics
+}
+
+// Exact computes n deterministically. idUniverse is the publicly known
+// bound on the id space (the paper's |id|); pass 0 to use the smallest
+// power of two covering the actual ids.
+func Exact(g *graph.Graph, seed int64, idUniverse int) (*ExactResult, error) {
+	if idUniverse <= 0 {
+		idUniverse = 1 << uint(bits.Len(uint(g.N()-1)))
+	}
+	res, met, err := partition.CountNodes(g, seed, idUniverse)
+	if err != nil {
+		return nil, fmt.Errorf("size: %w", err)
+	}
+	return &ExactResult{N: res.N, Phases: res.Phases, Metrics: *met}, nil
+}
+
+// EstimateResult is the outcome of the randomized §7.4 estimation.
+type EstimateResult struct {
+	Estimate int64
+	Rounds   int
+	Metrics  sim.Metrics
+}
+
+// Estimate runs the Greenberg–Ladner protocol: in round i every node
+// transmits with probability 2^-i; the first idle slot after k rounds
+// yields the estimate 2^k, within a constant factor of n w.h.p.
+func Estimate(g *graph.Graph, seed int64) (*EstimateResult, error) {
+	res, err := sim.Run(g, func(c *sim.Ctx) error {
+		est, _ := resolve.GreenbergLadner(c, sim.Input{}, true)
+		c.SetResult(est)
+		return nil
+	}, sim.WithSeed(seed))
+	if err != nil {
+		return nil, fmt.Errorf("size: estimate: %w", err)
+	}
+	est := res.Results[0].(int64)
+	for v, r := range res.Results {
+		if r != est {
+			return nil, fmt.Errorf("size: node %d estimated %v, node 0 %v", v, r, est)
+		}
+	}
+	return &EstimateResult{Estimate: est, Rounds: res.Metrics.Rounds, Metrics: res.Metrics}, nil
+}

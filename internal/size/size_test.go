@@ -1,0 +1,113 @@
+package size
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestExactComputesN(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+		n    int
+	}{
+		{"path2", func() (*graph.Graph, error) { return graph.Path(2, 1) }, 2},
+		{"ring16", func() (*graph.Graph, error) { return graph.Ring(16, 1) }, 16},
+		{"ring30", func() (*graph.Graph, error) { return graph.Ring(30, 1) }, 30},
+		{"grid5x8", func() (*graph.Graph, error) { return graph.Grid(5, 8, 3) }, 40},
+		{"random77", func() (*graph.Graph, error) { return graph.RandomConnected(77, 100, 5) }, 77},
+		{"star25", func() (*graph.Graph, error) { return graph.Star(25, 7) }, 25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Exact(g, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.N != tc.n {
+				t.Errorf("computed n = %d, want %d", res.N, tc.n)
+			}
+			if res.Phases < 1 {
+				t.Errorf("phases = %d", res.Phases)
+			}
+		})
+	}
+}
+
+func TestExactWithLargeIDUniverse(t *testing.T) {
+	// The algorithm must tolerate a loose id bound (the paper's |id| can
+	// exceed n).
+	g, err := graph.Ring(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exact(g, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 20 {
+		t.Errorf("computed n = %d, want 20", res.N)
+	}
+}
+
+func TestExactRejectsTightUniverse(t *testing.T) {
+	g, err := graph.Ring(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exact(g, 1, 10); err == nil {
+		t.Error("expected error for id universe below n")
+	}
+}
+
+func TestEstimateDistribution(t *testing.T) {
+	// §7.4: 2^k is within a constant factor of n w.h.p. Check the median
+	// ratio over seeds for several sizes.
+	for _, n := range []int{32, 128, 512} {
+		g, err := graph.Ring(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ratios []float64
+		for s := int64(0); s < 15; s++ {
+			res, err := Estimate(g, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratios = append(ratios, float64(res.Estimate)/float64(n))
+			// O(log n) slots.
+			if res.Rounds > 4*31 {
+				t.Errorf("n=%d seed=%d: %d rounds", n, s, res.Rounds)
+			}
+		}
+		sort.Float64s(ratios)
+		med := ratios[len(ratios)/2]
+		if med < 1.0/16 || med > 16 {
+			t.Errorf("n=%d: median estimate ratio %.2f outside [1/16,16]", n, med)
+		}
+	}
+}
+
+func TestEstimateDeterministicPerSeed(t *testing.T) {
+	g, err := graph.Ring(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Estimate(g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate || a.Rounds != b.Rounds {
+		t.Error("same seed produced different estimates")
+	}
+}

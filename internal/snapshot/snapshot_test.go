@@ -1,0 +1,98 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestSnapshotConsistentCut(t *testing.T) {
+	// Nodes run a local counter incremented every round; a snapshot must
+	// capture all counters at the same round, so all recorded values agree.
+	const n = 12
+	g, err := graph.Ring(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(g, func(c *sim.Ctx) error {
+		counter := 0
+		in := sim.Input{}
+		// A few rounds of local work before snapshotting.
+		for r := 0; r < 3; r++ {
+			counter++
+			in = c.Tick()
+		}
+		trigger := c.ID() == 4 || c.ID() == 9 // two concurrent initiators
+		var recorded int
+		cut, ok, _ := Take(c, in, trigger, func(round int) { recorded = counter })
+		if !ok {
+			return nil
+		}
+		c.SetResult([3]int{int(cut.Initiator), cut.Round, recorded})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Results[0].([3]int)
+	if first[0] != 9 { // election picks the max id among initiators
+		t.Errorf("initiator = %d, want 9", first[0])
+	}
+	for v, r := range res.Results {
+		if r != first {
+			t.Errorf("node %d cut %v != node 0 cut %v", v, r, first)
+		}
+	}
+}
+
+func TestSnapshotNoInitiator(t *testing.T) {
+	g, err := graph.Ring(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(g, func(c *sim.Ctx) error {
+		_, ok, _ := Take(c, sim.Input{}, false, func(int) {})
+		c.SetResult(ok)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range res.Results {
+		if r != false {
+			t.Errorf("node %d: ok = %v, want false", v, r)
+		}
+	}
+}
+
+func TestSnapshotUsesNoP2PMessages(t *testing.T) {
+	g, err := graph.RandomConnected(20, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(g, func(c *sim.Ctx) error {
+		Take(c, sim.Input{}, c.ID() == 0, func(int) {})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Messages != 0 {
+		t.Errorf("snapshot sent %d point-to-point messages", res.Metrics.Messages)
+	}
+	if res.Metrics.Rounds > 12 {
+		t.Errorf("snapshot took %d rounds, want O(log n)", res.Metrics.Rounds)
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	good := []Cut{{Initiator: 1, Round: 5}, {Initiator: 1, Round: 5}}
+	if err := Consistent(good); err != nil {
+		t.Errorf("consistent cuts rejected: %v", err)
+	}
+	bad := []Cut{{Initiator: 1, Round: 5}, {Initiator: 1, Round: 6}}
+	if err := Consistent(bad); err == nil {
+		t.Error("inconsistent cuts accepted")
+	}
+}
