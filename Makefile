@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build vet test test-short bench-quick ci
+
+## build: compile every package (the tier-1 gate's first half)
+build:
+	$(GO) build ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## test: full test suite, including the million-node census gate
+test:
+	$(GO) test ./...
+
+## test-short: skip the scale gates (seconds instead of tens of seconds)
+test-short:
+	$(GO) test -short ./...
+
+## bench-quick: one pass of the engine-comparison benchmarks
+bench-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
+
+## ci: what .github/workflows/ci.yml runs
+ci: build vet test

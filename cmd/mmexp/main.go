@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	mmexp            # quick sweep (seconds)
-//	mmexp -full      # full sweep used for EXPERIMENTS.md (minutes)
-//	mmexp -only E3   # a single experiment
-//	mmexp -list      # list the registry
+//	mmexp                # quick sweep (seconds)
+//	mmexp -full          # full sweep used for EXPERIMENTS.md (minutes)
+//	mmexp -only E3       # a single experiment
+//	mmexp -only E9       # step-engine scaling table (10⁶ nodes with -full)
+//	mmexp -engine step   # run every experiment on the step engine
+//	mmexp -list          # list the registry
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -30,7 +33,16 @@ func run() error {
 	full := flag.Bool("full", false, "run the full parameter sweep (slow)")
 	only := flag.String("only", "", "run a single experiment by id (e.g. E3)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	engine := flag.String("engine", "goroutine", "execution engine for all experiments: goroutine|step")
+	workers := flag.Int("workers", 0, "step-engine worker count (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	sim.DefaultEngine = eng
+	sim.DefaultWorkers = *workers
 
 	experiments := exp.All()
 	if *list {

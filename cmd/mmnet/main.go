@@ -8,6 +8,8 @@
 //	mmnet -graph grid -n 400 -algo sum -variant rand -stage mb
 //	mmnet -graph ray -rays 16 -raylen 16 -algo p2p-sum
 //	mmnet -graph ring -n 100 -algo count
+//	mmnet -graph ring -n 256 -algo mst -engine step
+//	mmnet -graph ring -n 1000000 -algo census
 package main
 
 import (
@@ -41,18 +43,31 @@ func run() error {
 		rays    = flag.Int("rays", 8, "rays (ray graph)")
 		rayLen  = flag.Int("raylen", 8, "ray length (ray graph)")
 		seed    = flag.Int64("seed", 1, "master seed")
-		algo    = flag.String("algo", "partition-det", "partition-det|partition-rand|partition-lv|mst|mst-boruvka|sum|min|p2p-sum|bcast-sum|count|estimate")
+		algo    = flag.String("algo", "partition-det", "partition-det|partition-rand|partition-lv|mst|mst-boruvka|sum|min|p2p-sum|bcast-sum|count|census|estimate|estimate-step|elect|snapshot")
 		variant = flag.String("variant", "det", "multimedia function variant: det|balanced|rand")
 		stage   = flag.String("stage", "cap", "global stage: cap|mb")
+		engine  = flag.String("engine", "goroutine", "execution engine: goroutine|step (census and estimate-step are native step-engine protocols and always run on step)")
+		workers = flag.Int("workers", 0, "step-engine worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	sim.DefaultEngine = eng
+	sim.DefaultWorkers = *workers
 
 	g, err := makeGraph(*gname, *n, *extra, *rays, *rayLen, *seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph=%s n=%d m=%d diameter>=%d sqrt(n)=%d\n",
-		*gname, g.N(), g.M(), graph.DiameterLowerBound(g), partition.SqrtN(g.N()))
+	engineLabel := eng.String()
+	if *algo == "census" || *algo == "estimate-step" {
+		engineLabel = "step (native protocol)"
+	}
+	fmt.Printf("graph=%s n=%d m=%d diameter>=%d sqrt(n)=%d engine=%s\n",
+		*gname, g.N(), g.M(), graph.DiameterLowerBound(g), partition.SqrtN(g.N()), engineLabel)
 
 	switch *algo {
 	case "partition-det":
@@ -144,12 +159,29 @@ func run() error {
 		}
 		fmt.Printf("deterministic size computation: n=%d phases=%d\n", res.N, res.Phases)
 		printMetrics(&res.Metrics)
+	case "census":
+		// Native step-machine census: exact n on the point-to-point network,
+		// built for million-node graphs (always runs on the step engine).
+		res, err := size.Census(g, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("native step census: n=%d\n", res.N)
+		printMetrics(&res.Metrics)
 	case "estimate":
 		res, err := size.Estimate(g, *seed)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("randomized size estimate: 2^k=%d (true n=%d, ratio %.2f)\n",
+			res.Estimate, g.N(), float64(res.Estimate)/float64(g.N()))
+		printMetrics(&res.Metrics)
+	case "estimate-step":
+		res, err := size.EstimateStep(g, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("native step size estimate: 2^k=%d (true n=%d, ratio %.2f)\n",
 			res.Estimate, g.N(), float64(res.Estimate)/float64(g.N()))
 		printMetrics(&res.Metrics)
 	case "elect":

@@ -1,0 +1,135 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/globalfunc"
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/size"
+)
+
+// withEngine runs f with the process-wide default engine switched, so the
+// protocols under test route every internal sim.Run through it.
+func withEngine(t *testing.T, e sim.Engine, f func()) {
+	t.Helper()
+	old := sim.DefaultEngine
+	sim.DefaultEngine = e
+	defer func() { sim.DefaultEngine = old }()
+	f()
+}
+
+// TestEngineEquivalence is the cross-engine determinism gate: for a fixed
+// seed, the goroutine engine and the step engine must produce byte-identical
+// results and identical metrics for every protocol of the module, on every
+// topology family the paper evaluates. Each case returns its full observable
+// outcome as a value compared with reflect.DeepEqual.
+func TestEngineEquivalence(t *testing.T) {
+	topologies := []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+	}{
+		{"ring48", func() (*graph.Graph, error) { return graph.Ring(48, 2) }},
+		{"random33", func() (*graph.Graph, error) { return graph.RandomConnected(33, 66, 10) }},
+		{"ray4x4", func() (*graph.Graph, error) { return graph.Ray(4, 4, 9) }},
+	}
+	protocols := []struct {
+		name string
+		run  func(g *graph.Graph) (any, error)
+	}{
+		{"partition-det", func(g *graph.Graph) (any, error) {
+			f, met, info, err := partition.Deterministic(g, 1)
+			if err != nil {
+				return nil, err
+			}
+			return []any{f.Parent, f.ParentEdge, *met, info.Phases}, nil
+		}},
+		{"partition-rand", func(g *graph.Graph) (any, error) {
+			f, met, info, err := partition.Randomized(g, 1)
+			if err != nil {
+				return nil, err
+			}
+			return []any{f.Parent, f.ParentEdge, *met, info.Iterations}, nil
+		}},
+		{"mst", func(g *graph.Graph) (any, error) {
+			res, err := mst.Multimedia(g, 1)
+			if err != nil {
+				return nil, err
+			}
+			return []any{res.MST.EdgeIDs, res.MST.Total, res.Phases, res.Total}, nil
+		}},
+		{"sum", func(g *graph.Graph) (any, error) {
+			in := func(v graph.NodeID) int64 { return (int64(v)*97 + 5) % 1000 }
+			res, err := globalfunc.Multimedia(g, 1, globalfunc.Sum, in,
+				globalfunc.VariantDeterministic, globalfunc.StageCapetanakis)
+			if err != nil {
+				return nil, err
+			}
+			return []any{res.Value, res.Trees, res.Total}, nil
+		}},
+		{"count", func(g *graph.Graph) (any, error) {
+			res, err := size.Exact(g, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			return []any{res.N, res.Phases, res.Metrics}, nil
+		}},
+	}
+
+	for _, topo := range topologies {
+		for _, proto := range protocols {
+			t.Run(topo.name+"/"+proto.name, func(t *testing.T) {
+				g, err := topo.mk()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want, got any
+				withEngine(t, sim.EngineGoroutine, func() {
+					want, err = proto.run(g)
+				})
+				if err != nil {
+					t.Fatalf("goroutine engine: %v", err)
+				}
+				withEngine(t, sim.EngineStep, func() {
+					got, err = proto.run(g)
+				})
+				if err != nil {
+					t.Fatalf("step engine: %v", err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("engines diverge:\n goroutine: %#v\n step:      %#v", want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestMillionNodeRingCensus is the scale gate of ISSUE 1: the native step
+// engine must run a 10⁶-node ring count (network-size) protocol to
+// completion. The sleep/wake wavefront makes this a few seconds of work;
+// the goroutine engine would need ~1.5·10¹² channel handoffs.
+func TestMillionNodeRingCensus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-node census skipped in -short mode")
+	}
+	const n = 1_000_000
+	g, err := graph.Ring(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := size.Census(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != n {
+		t.Fatalf("census = %d, want %d", res.N, n)
+	}
+	if res.Metrics.Messages != 4*(n-1)+2 {
+		// explore+ack on both directed halves, value+result along the tree:
+		// 2m explores/acks + (n-1) values + (n-1) results, m = n on a ring.
+		t.Logf("messages = %d (informational)", res.Metrics.Messages)
+	}
+}

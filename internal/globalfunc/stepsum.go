@@ -1,0 +1,177 @@
+package globalfunc
+
+// stepsum.go is the native step-machine port of the point-to-point census /
+// global-function baseline (the §5.2 lower-bound model): build a BFS tree
+// from the distinguished leader, convergecast partials, broadcast the
+// result. The machine is a faithful state-machine transcription of
+// p2pProgram in baselines.go — same message types, same decisions, same
+// round structure — so the two forms produce identical results and metrics
+// for any (graph, seed). Being message-driven, every node sleeps whenever
+// no message can change its state, which makes the native form run whole
+// 10⁶-node networks: the engine's cost is O(n + m) node-steps instead of
+// the goroutine engine's O(n · diameter) channel handoffs.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// P2PStepProgram returns the native step-machine form of the point-to-point
+// baseline protocol run by PointToPoint.
+func P2PStepProgram(op Op, in Inputs) sim.StepProgram {
+	return func(c *sim.StepCtx) sim.Machine {
+		return &p2pMachine{
+			c:          c,
+			op:         op,
+			partial:    in(c.ID()),
+			adopted:    c.ID() == 0,
+			parentLink: -1,
+		}
+	}
+}
+
+// p2pMachine is one node's state in the BFS-tree aggregate: the loop-local
+// variables of p2pProgram promoted to fields, stepped once per round.
+type p2pMachine struct {
+	c  *sim.StepCtx
+	op Op
+
+	partial     int64
+	adopted     bool
+	explored    bool
+	sentUp      bool
+	parentLink  int
+	acksPending int
+	childLinks  []int
+	reports     int
+
+	result    int64
+	resultSet bool
+}
+
+func (m *p2pMachine) explore(skip map[int]bool) {
+	for l := 0; l < m.c.Degree(); l++ {
+		if !skip[l] {
+			m.c.Send(l, p2pExplore{})
+			m.acksPending++
+		}
+	}
+	m.explored = true
+}
+
+func (m *p2pMachine) forward(v int64) {
+	for _, l := range m.childLinks {
+		m.c.Send(l, p2pResult{V: v})
+	}
+	m.result, m.resultSet = v, true
+}
+
+func (m *p2pMachine) Step(in sim.Input) bool {
+	if in.Round == 0 {
+		// The code p2pProgram runs before its first Tick.
+		if m.c.ID() == 0 {
+			m.explore(nil)
+		}
+		return m.finishRound()
+	}
+
+	// Adoption: among this round's explores pick the least sender. Links
+	// that carried an explore this round lead to nodes that are already
+	// adopted, so exploring them is pointless and would collide with the
+	// mandatory ack on the same link.
+	bestLink := -1
+	var bestFrom graph.NodeID
+	var exploredLinks map[int]bool
+	for _, msg := range in.Msgs {
+		if _, ok := msg.Payload.(p2pExplore); ok {
+			l := m.c.LinkOf(msg.EdgeID)
+			if exploredLinks == nil {
+				exploredLinks = make(map[int]bool, 2)
+			}
+			exploredLinks[l] = true
+			if bestLink == -1 || msg.From < bestFrom {
+				bestLink, bestFrom = l, msg.From
+			}
+		}
+	}
+	adoptedNow := false
+	if bestLink != -1 && !m.adopted {
+		m.adopted, adoptedNow = true, true
+		m.parentLink = bestLink
+		m.explore(exploredLinks)
+	}
+	parentLinkBusy := false
+	for _, msg := range in.Msgs {
+		l := m.c.LinkOf(msg.EdgeID)
+		switch p := msg.Payload.(type) {
+		case p2pExplore:
+			m.c.Send(l, p2pAck{Child: adoptedNow && l == m.parentLink})
+			if l == m.parentLink {
+				parentLinkBusy = true
+			}
+		case p2pAck:
+			m.acksPending--
+			if p.Child {
+				m.childLinks = append(m.childLinks, l)
+			}
+		case p2pValue:
+			m.partial = m.op.Combine(m.partial, p.V)
+			m.reports++
+		case p2pResult:
+			m.forward(p.V)
+		}
+	}
+	// Convergecast once the child set is final and all children reported;
+	// wait a round if the ack already used the parent link.
+	if m.upReady() && !parentLinkBusy {
+		m.sentUp = true
+		if m.c.ID() == 0 {
+			m.forward(m.partial)
+		} else {
+			m.c.Send(m.parentLink, p2pValue{V: m.partial})
+		}
+	}
+	return m.finishRound()
+}
+
+// upReady reports whether the deferred convergecast send may fire — the one
+// state change that can happen in a round with no incoming messages.
+func (m *p2pMachine) upReady() bool {
+	return m.adopted && m.explored && m.acksPending == 0 && !m.sentUp &&
+		m.reports == len(m.childLinks)
+}
+
+// finishRound evaluates p2pProgram's loop condition and parks the node
+// whenever only a message can change its state.
+func (m *p2pMachine) finishRound() bool {
+	if m.resultSet && m.acksPending == 0 {
+		return true
+	}
+	if !m.upReady() {
+		m.c.Sleep()
+	}
+	return false
+}
+
+func (m *p2pMachine) Result() any { return m.result }
+
+// PointToPointStep computes the function on the pure point-to-point network
+// with the native step engine — the same protocol, results, and metrics as
+// PointToPoint, at million-node scale.
+func PointToPointStep(g *graph.Graph, seed int64, op Op, in Inputs, opts ...sim.Option) (*Result, error) {
+	opts = append([]sim.Option{sim.WithSeed(seed)}, opts...)
+	res, err := sim.RunStep(g, P2PStepProgram(op, in), opts...)
+	if err != nil {
+		return nil, fmt.Errorf("globalfunc: p2p step baseline: %w", err)
+	}
+	if res.Metrics.Slots() != 0 {
+		return nil, fmt.Errorf("globalfunc: p2p step baseline touched the channel")
+	}
+	val, err := collectValue(res.Results)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Value: val, Trees: 1, Compute: res.Metrics, Total: res.Metrics}, nil
+}

@@ -1,0 +1,52 @@
+package globalfunc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestPointToPointStepMatchesGoroutineForm checks the native BFS-tree
+// aggregate against the goroutine program it was ported from: identical
+// value, results, and metrics on every topology.
+func TestPointToPointStepMatchesGoroutineForm(t *testing.T) {
+	in := func(v graph.NodeID) int64 { return (int64(v)*97 + 5) % 1000 }
+	for _, tc := range []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+	}{
+		{"ring33", func() (*graph.Graph, error) { return graph.Ring(33, 1) }},
+		{"grid6x7", func() (*graph.Graph, error) { return graph.Grid(6, 7, 2) }},
+		{"random50", func() (*graph.Graph, error) { return graph.RandomConnected(50, 100, 3) }},
+		{"star30", func() (*graph.Graph, error) { return graph.Star(30, 4) }},
+		{"ray5x4", func() (*graph.Graph, error) { return graph.Ray(5, 4, 5) }},
+		{"path2", func() (*graph.Graph, error) { return graph.Path(2, 6) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range []Op{Sum, Min, Xor} {
+				gor, err := PointToPoint(g, 1, op, in)
+				if err != nil {
+					t.Fatalf("%s goroutine: %v", op.Name, err)
+				}
+				nat, err := PointToPointStep(g, 1, op, in)
+				if err != nil {
+					t.Fatalf("%s native: %v", op.Name, err)
+				}
+				if gor.Value != nat.Value {
+					t.Errorf("%s: value %d vs %d", op.Name, gor.Value, nat.Value)
+				}
+				if want := Reference(g, op, in); nat.Value != want {
+					t.Errorf("%s: value %d, reference %d", op.Name, nat.Value, want)
+				}
+				if !reflect.DeepEqual(gor.Total, nat.Total) {
+					t.Errorf("%s: metrics %+v vs %+v", op.Name, gor.Total, nat.Total)
+				}
+			}
+		})
+	}
+}

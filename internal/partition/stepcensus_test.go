@@ -1,0 +1,88 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// TestFragmentSizesMatchesGoroutineForm checks the native fragment census
+// against the goroutine-engine form it was ported from (deterministic.go's
+// countStep over the same forest): identical per-node results and metrics.
+func TestFragmentSizesMatchesGoroutineForm(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+	}{
+		{"ring48", func() (*graph.Graph, error) { return graph.Ring(48, 2) }},
+		{"random60", func() (*graph.Graph, error) { return graph.RandomConnected(60, 90, 4) }},
+		{"ray6x5", func() (*graph.Graph, error) { return graph.Ray(6, 5, 3) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, _, _, err := Deterministic(g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sizes, met, err := FragmentSizes(f, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			res, err := sim.Run(f.G, func(c *sim.Ctx) error {
+				nd := newDNode(c)
+				v := c.ID()
+				if f.Parent[v] != -1 {
+					nd.parentEdge = f.ParentEdge[v]
+				}
+				for _, h := range c.Adj() {
+					if f.Parent[h.To] == v && f.ParentEdge[h.To] == h.EdgeID {
+						nd.children[h.EdgeID] = true
+					}
+				}
+				nd.countStep(sim.Input{})
+				if nd.isCore() {
+					c.SetResult(nd.size)
+				} else {
+					c.SetResult(0)
+				}
+				return nil
+			}, sim.WithSeed(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			want := make([]int, g.N())
+			for v, r := range res.Results {
+				want[v] = r.(int)
+			}
+			if !reflect.DeepEqual(want, sizes) {
+				t.Errorf("sizes differ:\n goroutine %v\n native    %v", want, sizes)
+			}
+			if res.Metrics != *met {
+				t.Errorf("metrics differ: goroutine %+v, native %+v", res.Metrics, *met)
+			}
+
+			// Both must agree with the forest's actual tree sizes.
+			trueSize := make(map[graph.NodeID]int)
+			for v := 0; v < g.N(); v++ {
+				trueSize[f.Root(graph.NodeID(v))]++
+			}
+			for v, s := range sizes {
+				if f.Parent[v] == -1 {
+					if s != trueSize[graph.NodeID(v)] {
+						t.Errorf("core %d census %d, true size %d", v, s, trueSize[graph.NodeID(v)])
+					}
+				} else if s != 0 {
+					t.Errorf("non-core %d reported size %d", v, s)
+				}
+			}
+		})
+	}
+}

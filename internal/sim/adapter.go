@@ -1,0 +1,95 @@
+package sim
+
+// adapter.go keeps the goroutine+Tick API working on the step engine: each
+// node's Program still runs as a blocking goroutine against its Ctx, but it
+// is resumed by a goroutineMachine from the step engine's worker pool
+// instead of the old central scheduler loop, and its staged sends and
+// channel writes are committed through the engine's sharded buffers. The
+// round structure, metrics, and per-node RNG derivation are identical to
+// the goroutine engine, so both engines produce bit-identical runs.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// runStepAdapter executes a goroutine Program on the step engine.
+func runStepAdapter(g *graph.Graph, program Program, cfg config) (*Result, error) {
+	prog := func(sc *StepCtx) Machine {
+		return &goroutineMachine{sc: sc, ctx: newCtx(g, sc.id, cfg.seed), program: program}
+	}
+	// Inbox buffers are not reused: legacy programs may hold an Input's
+	// Msgs across Tick, which the goroutine engine always allowed.
+	return runStepEngine(g, prog, cfg, false)
+}
+
+// goroutineMachine drives one legacy Program goroutine from Machine.Step.
+type goroutineMachine struct {
+	sc      *StepCtx
+	ctx     *Ctx
+	program Program
+	started bool
+}
+
+// Step resumes the program for one round: round 0 starts the goroutine
+// (the code a Program runs before its first Tick), later rounds hand the
+// round's input to the Tick the program is blocked in. Once the program
+// commits (Tick) or returns, its staged sends and channel write are copied
+// into the step engine's buffers.
+func (m *goroutineMachine) Step(in Input) bool {
+	if !m.started {
+		m.started = true
+		go m.runProgram()
+	} else {
+		m.ctx.resume <- in
+	}
+	ticked := <-m.ctx.done
+
+	for _, o := range m.ctx.out {
+		// link -1: Ctx already enforced the one-send-per-link rule.
+		m.sc.out = append(m.sc.out, stagedSend{to: o.to, edgeID: int32(o.edgeID), link: -1, payload: o.payload})
+	}
+	m.ctx.out = m.ctx.out[:0]
+	clear(m.ctx.sentLink)
+	if m.ctx.chPending {
+		m.sc.chPending = true
+		m.sc.chWrite = m.ctx.chWrite
+		m.ctx.chPending = false
+		m.ctx.chWrite = nil
+	}
+	return !ticked
+}
+
+// runProgram is the per-node goroutine body, identical in error and panic
+// handling to the goroutine engine's.
+func (m *goroutineMachine) runProgram() {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, errAborted) {
+				// Clean abort unwind; the primary error is already recorded.
+			} else {
+				m.sc.eng.recordErr(fmt.Errorf("sim: node %d panicked: %v", m.ctx.id, r))
+			}
+		}
+		m.ctx.done <- false
+	}()
+	if err := m.program(m.ctx); err != nil {
+		m.sc.eng.recordErr(fmt.Errorf("sim: node %d: %w", m.ctx.id, err))
+	}
+}
+
+// Result returns whatever the program recorded via Ctx.SetResult.
+func (m *goroutineMachine) Result() any { return m.ctx.result }
+
+// abortRun unwinds a program goroutine blocked in Tick when the engine
+// aborts the run, exactly as the goroutine engine does: closing resume
+// panics the Tick with errAborted, and the final done send is drained.
+func (m *goroutineMachine) abortRun() {
+	if !m.started {
+		return
+	}
+	close(m.ctx.resume)
+	<-m.ctx.done
+}

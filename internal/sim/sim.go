@@ -9,10 +9,41 @@
 // Idle (no writers), Success (exactly one writer — its payload is heard by
 // every node), or Collision (two or more writers — detected by every node).
 //
-// Each node runs its program as a goroutine against a blocking Ctx: Tick
-// commits the current round and blocks until the engine delivers the next
-// round's input. Within a round nodes touch only their own state, so runs
-// are deterministic for a given seed regardless of goroutine scheduling.
+// # Execution models
+//
+// The package offers two engines over the same model:
+//
+//   - EngineGoroutine (the historical default) runs each node's Program as
+//     a goroutine against a blocking Ctx: Tick commits the current round
+//     and blocks until a central scheduler delivers the next round's input.
+//     Convenient — programs read as straight-line code — but every node
+//     costs two channel handoffs per round, which caps practical runs at
+//     roughly 10⁴–10⁵ nodes.
+//
+//   - EngineStep (RunStep) executes explicit per-node step machines on a
+//     sharded worker pool: nodes are partitioned into contiguous shards,
+//     inbox/outbox buffers are preallocated per shard and reused across
+//     rounds, message delivery is double-buffered between a compute phase
+//     and a delivery phase, and each round costs a single fan-out/fan-in
+//     barrier instead of 2n channel handoffs. Machines may additionally
+//     call StepCtx.Sleep to park until a message arrives, so protocols
+//     whose activity is a travelling wavefront run in time proportional to
+//     the work done, not nodes × rounds. This is the engine for
+//     million-node simulations.
+//
+// Run(..., WithEngine(EngineStep)) executes an unmodified goroutine Program
+// on the step engine through a built-in adapter, so every existing protocol
+// works on both engines and produces identical results and metrics.
+//
+// # Determinism contract
+//
+// Within a round nodes touch only their own state; each node draws from a
+// private RNG derived from the master seed and its node id. A run with a
+// given (graph, program, seed) therefore yields a bit-identical transcript
+// — the same per-round messages, slot resolutions, results, and Metrics —
+// regardless of the engine chosen, the worker count, and goroutine or
+// worker scheduling. Inboxes are always delivered sorted by (sender id,
+// edge id).
 package sim
 
 import (
@@ -126,6 +157,8 @@ var errAborted = errors.New("sim: run aborted")
 type config struct {
 	seed      int64
 	maxRounds int
+	engine    Engine
+	workers   int
 }
 
 // Option configures a run.
@@ -138,6 +171,16 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // WithMaxRounds overrides the default round budget (a deadlock guard).
 func WithMaxRounds(r int) Option { return func(c *config) { c.maxRounds = r } }
 
+// WithEngine selects the execution model for this run; without it Run uses
+// DefaultEngine. RunStep ignores it (it is always the step engine).
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithWorkers sets the step engine's worker count; 0 means DefaultWorkers
+// (and, if that is also 0, GOMAXPROCS). The goroutine engine ignores it.
+// By the determinism contract the worker count never changes a run's
+// transcript, only its wall-clock time.
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
 type outMsg struct {
 	edgeID  int
 	to      graph.NodeID
@@ -149,9 +192,10 @@ type outMsg struct {
 // (two sends on one link in a round, two channel writes in a round); these
 // are programming errors, not runtime conditions.
 type Ctx struct {
-	id  graph.NodeID
-	g   *graph.Graph
-	rng *rand.Rand
+	id      graph.NodeID
+	g       *graph.Graph
+	rng     *rand.Rand // created lazily from rngSeed on first use
+	rngSeed int64
 
 	round     int
 	out       []outMsg
@@ -187,8 +231,14 @@ func (c *Ctx) Degree() int { return c.g.Degree(c.id) }
 // Round returns the current round number (0 before the first Tick).
 func (c *Ctx) Round() int { return c.round }
 
-// Rand returns this node's private deterministic RNG.
-func (c *Ctx) Rand() *rand.Rand { return c.rng }
+// Rand returns this node's private deterministic RNG, created lazily so
+// runs that never draw randomness pay nothing for it.
+func (c *Ctx) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.rngSeed))
+	}
+	return c.rng
+}
 
 // LinkOf returns the local link index of the given edge id.
 func (c *Ctx) LinkOf(edgeID int) int {
@@ -264,33 +314,57 @@ type Result struct {
 	Results []any // per-node values recorded via Ctx.SetResult
 }
 
+// newCtx builds the blocking per-node handle shared by the goroutine engine
+// and the step engine's compatibility adapter.
+func newCtx(g *graph.Graph, id graph.NodeID, seed int64) *Ctx {
+	ctx := &Ctx{
+		id:         id,
+		g:          g,
+		rngSeed:    seed*1_000_003 + int64(id),
+		sentLink:   make(map[int]bool),
+		linkByEdge: make(map[int]int, g.Degree(id)),
+		linkByPeer: make(map[graph.NodeID]int, g.Degree(id)),
+		resume:     make(chan Input, 1),
+		done:       make(chan bool, 1),
+	}
+	for l, h := range g.Adj(id) {
+		ctx.linkByEdge[h.EdgeID] = l
+		ctx.linkByPeer[h.To] = l
+	}
+	return ctx
+}
+
 // Run executes program on every node of g until all programs return, and
 // returns aggregate metrics and per-node results. The first program error
-// (or panic, or an exhausted round budget) aborts the run.
+// (or panic, or an exhausted round budget) aborts the run. The engine is
+// chosen with WithEngine (DefaultEngine otherwise); both engines produce
+// identical results and metrics for the same seed.
 func Run(g *graph.Graph, program Program, opts ...Option) (*Result, error) {
 	cfg := config{seed: 1, maxRounds: defaultMaxRounds(g)}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	engine := cfg.engine
+	if engine == 0 {
+		engine = DefaultEngine
+	}
+	switch engine {
+	case EngineStep:
+		return runStepAdapter(g, program, cfg)
+	case EngineGoroutine:
+		return runGoroutine(g, program, cfg)
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %d", engine)
+	}
+}
+
+// runGoroutine is the historical engine: one goroutine per node, resumed
+// round by round from a single scheduler loop.
+func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) {
 	n := g.N()
 	ctxs := make([]*Ctx, n)
 	for v := 0; v < n; v++ {
-		id := graph.NodeID(v)
-		ctx := &Ctx{
-			id:         id,
-			g:          g,
-			rng:        rand.New(rand.NewSource(cfg.seed*1_000_003 + int64(v))),
-			sentLink:   make(map[int]bool),
-			linkByEdge: make(map[int]int, g.Degree(id)),
-			linkByPeer: make(map[graph.NodeID]int, g.Degree(id)),
-			resume:     make(chan Input, 1),
-			done:       make(chan bool, 1),
-		}
-		for l, h := range g.Adj(id) {
-			ctx.linkByEdge[h.EdgeID] = l
-			ctx.linkByPeer[h.To] = l
-		}
-		ctxs[v] = ctx
+		ctxs[v] = newCtx(g, graph.NodeID(v), cfg.seed)
 	}
 
 	var (

@@ -1,0 +1,714 @@
+package sim
+
+// step.go implements the step-machine engine: the same synchronous
+// multimedia-network model as the goroutine engine, executed as explicit
+// per-node state machines on a sharded worker pool.
+//
+// Nodes are partitioned into contiguous shards. Every round has two
+// barrier-separated phases:
+//
+//	step     each worker steps the awake machines of its shard; sends and
+//	         channel writes are staged into per-shard, per-destination-shard
+//	         outbox buckets (no locks, no per-node channel handoffs);
+//	deliver  each worker drains the buckets addressed to its shard into the
+//	         preallocated per-node inboxes, sorts multi-message inboxes by
+//	         (sender, edge id), and wakes sleeping recipients.
+//
+// All buffers (inboxes, outboxes, awake lists) are reused across rounds, so
+// a steady-state round allocates nothing beyond what machines themselves
+// allocate. Machines that have nothing to do until a message arrives call
+// StepCtx.Sleep; combined with the awake lists this makes the per-round cost
+// proportional to the number of active nodes, not n — protocols whose
+// activity is a travelling wavefront (BFS floods, convergecasts) run whole
+// 10⁶-node networks in seconds.
+//
+// Determinism: machines are constructed and stepped against per-node state
+// only, per-node RNGs are derived exactly as in the goroutine engine, and
+// inboxes are sorted to the same (sender, edge id) order, so a fixed seed
+// yields a bit-identical transcript for any worker count and either engine.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Engine selects the execution model backing Run.
+type Engine int
+
+// The execution models.
+const (
+	// EngineGoroutine runs one blocking goroutine per node with a central
+	// scheduler — the historical engine.
+	EngineGoroutine Engine = iota + 1
+	// EngineStep runs the sharded step-machine engine; goroutine Programs
+	// are executed through a built-in adapter.
+	EngineStep
+)
+
+// String returns the flag spelling of the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineGoroutine:
+		return "goroutine"
+	case EngineStep:
+		return "step"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine maps a -engine flag value to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "goroutine", "go":
+		return EngineGoroutine, nil
+	case "step":
+		return EngineStep, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown engine %q (want goroutine|step)", s)
+	}
+}
+
+// DefaultEngine is the engine Run uses when no WithEngine option is given.
+// Commands set it from their -engine flag so every protocol in the process
+// routes through the selected engine.
+var DefaultEngine = EngineGoroutine
+
+// DefaultWorkers is the step engine's worker count when no WithWorkers
+// option is given; 0 means GOMAXPROCS.
+var DefaultWorkers = 0
+
+// Machine is one node's compiled step program: the per-round half of the
+// native step API.
+//
+// Step is called once per round with that round's input (round 0 carries no
+// messages and a zero slot, mirroring the code a goroutine Program runs
+// before its first Tick). Sends and channel writes staged during Step are
+// committed when it returns; returning true halts the node, with any staged
+// sends still delivered. The Input and its Msgs are engine-owned and only
+// valid during the call.
+//
+// Result is the result hook: it is called once, when the node halts, and
+// its value lands in the run's Result.Results slot for the node.
+type Machine interface {
+	Step(in Input) (halt bool)
+	Result() any
+}
+
+// StepProgram is the init hook of the native step API: it is called once
+// per node, in node order, before round 0, and returns the node's Machine.
+// Implementations typically capture c and per-node protocol state in the
+// returned machine. It must not send or write the channel; it may draw from
+// c.Rand.
+type StepProgram func(c *StepCtx) Machine
+
+// stagedSend is one queued point-to-point message in a StepCtx's outbox.
+// link is the sender-local link index (used to reset the duplicate-send
+// guard) or -1 for messages staged by the goroutine adapter, which has
+// already enforced the model's one-send-per-link rule in Ctx.
+type stagedSend struct {
+	to      graph.NodeID
+	edgeID  int32
+	link    int32
+	payload Payload
+}
+
+// delivered is one message in flight between the step and deliver phases.
+type delivered struct {
+	to      graph.NodeID
+	from    graph.NodeID
+	edgeID  int32
+	payload Payload
+}
+
+// StepCtx is a node's handle to the network under the step engine: the same
+// API surface as Ctx minus Tick (the engine calls Machine.Step instead),
+// plus Sleep. All methods must be called only from the node's Machine
+// during Step (or from its StepProgram during construction, for the
+// read-only ones). Methods panic on model violations; a panic aborts the
+// run with an error naming the node.
+type StepCtx struct {
+	id      graph.NodeID
+	eng     *stepEngine
+	rng     *rand.Rand
+	rngSeed int64
+
+	round     int
+	out       []stagedSend
+	chWrite   Payload
+	chPending bool
+
+	asleep    bool // set by Sleep, cleared before every Step
+	scheduled bool // already on some shard's awake list for the next round
+	halted    bool
+	machine   Machine
+	result    any
+}
+
+// ID returns this node's identifier.
+func (c *StepCtx) ID() graph.NodeID { return c.id }
+
+// N returns the number of nodes in the network (known to all nodes, §2).
+func (c *StepCtx) N() int { return c.eng.g.N() }
+
+// Graph returns the immutable network topology.
+func (c *StepCtx) Graph() *graph.Graph { return c.eng.g }
+
+// Adj returns this node's incident links sorted by ascending weight.
+func (c *StepCtx) Adj() []graph.Half { return c.eng.g.Adj(c.id) }
+
+// Degree returns the number of incident links.
+func (c *StepCtx) Degree() int { return c.eng.g.Degree(c.id) }
+
+// Round returns the current round number.
+func (c *StepCtx) Round() int { return c.round }
+
+// Rand returns this node's private deterministic RNG, derived from the
+// master seed exactly as in the goroutine engine and created lazily.
+func (c *StepCtx) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.rngSeed))
+	}
+	return c.rng
+}
+
+// LinkOf returns the local link index of the given edge id.
+func (c *StepCtx) LinkOf(edgeID int) int {
+	e := c.eng.g.Edge(edgeID)
+	switch c.id {
+	case e.U:
+		return int(c.eng.linkAt[edgeID][0])
+	case e.V:
+		return int(c.eng.linkAt[edgeID][1])
+	default:
+		panic(fmt.Sprintf("sim: node %d has no link with edge id %d", c.id, edgeID))
+	}
+}
+
+// Link returns the local link index leading to the given neighbor.
+func (c *StepCtx) Link(to graph.NodeID) (int, bool) {
+	for l, h := range c.Adj() {
+		if h.To == to {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// Send queues a message on the link with the given local index for delivery
+// at the start of the next round. At most one message may be sent per link
+// per round.
+func (c *StepCtx) Send(link int, p Payload) {
+	adj := c.Adj()
+	if link < 0 || link >= len(adj) {
+		panic(fmt.Sprintf("sim: node %d send on link %d of %d", c.id, link, len(adj)))
+	}
+	h := adj[link]
+	idx := c.eng.sentOff[c.id] + link
+	if c.eng.sentFlags[idx] {
+		panic(fmt.Sprintf("sim: node %d sent twice on edge %d in round %d", c.id, h.EdgeID, c.round))
+	}
+	c.eng.sentFlags[idx] = true
+	c.out = append(c.out, stagedSend{to: h.To, edgeID: int32(h.EdgeID), link: int32(link), payload: p})
+}
+
+// SendTo queues a message to the given neighbor.
+func (c *StepCtx) SendTo(to graph.NodeID, p Payload) {
+	l, ok := c.Link(to)
+	if !ok {
+		panic(fmt.Sprintf("sim: node %d is not adjacent to %d", c.id, to))
+	}
+	c.Send(l, p)
+}
+
+// Broadcast writes p to the current channel slot. At most one write per
+// round; the slot resolves to success only if this node is the sole writer.
+func (c *StepCtx) Broadcast(p Payload) {
+	if c.chPending {
+		panic(fmt.Sprintf("sim: node %d wrote the channel twice in round %d", c.id, c.round))
+	}
+	c.chPending = true
+	c.chWrite = p
+}
+
+// Busy transmits a busy tone on the channel this round (§7.1 barrier).
+func (c *StepCtx) Busy() { c.Broadcast(BusyTone{}) }
+
+// SentThisRound reports whether this node queued any point-to-point message
+// in the current round.
+func (c *StepCtx) SentThisRound() bool { return len(c.out) > 0 }
+
+// Sleep parks this node after the current Step returns: the engine skips it
+// every round until a message arrives, at which point it is woken and
+// stepped with that round's input. A sleeping node does not observe the
+// channel, so only protocols that synchronize by messages may use it; it is
+// what makes wavefront protocols on million-node graphs cost O(work), not
+// O(n·rounds). Sleeping with no message ever due wedges the protocol; the
+// engine detects the fully quiescent case and fails the run.
+func (c *StepCtx) Sleep() { c.asleep = true }
+
+// failError carries a protocol-level failure out of a Machine via panic;
+// the engine records it verbatim instead of as a node panic.
+type failError struct{ err error }
+
+// Failf aborts the run with an error attributed to this node — the native
+// API's analog of a goroutine Program returning an error.
+func (c *StepCtx) Failf(format string, args ...any) {
+	panic(failError{err: fmt.Errorf(format, args...)})
+}
+
+// aborter is implemented by machines that need unwinding when the engine
+// aborts a run with live nodes (the goroutine adapter's blocked programs).
+type aborter interface{ abortRun() }
+
+// stepShard is one contiguous slice of the node range plus every per-shard
+// buffer the two phases reuse round after round.
+type stepShard struct {
+	lo, hi int
+
+	awake []int32 // nodes to step this round; survivors + woken for the next
+	next  []int32 // scratch for building the survivor list
+
+	out     [][]delivered // staged messages, bucketed by destination shard
+	touched []int32       // nodes that received mail this round (sort + reuse)
+
+	writers       int
+	writerID      graph.NodeID
+	writerPayload Payload
+	halts         int
+	msgs          int64
+	dropped       int64
+
+	cur graph.NodeID // node being stepped, for panic attribution
+}
+
+const (
+	phaseStep int8 = iota + 1
+	phaseDeliver
+	// inlineThreshold: with fewer awake nodes than this, the coordinator
+	// steps them itself rather than paying the worker fan-out/fan-in.
+	inlineThreshold = 256
+)
+
+type stepEngine struct {
+	g     *graph.Graph
+	cfg   config
+	reuse bool // reuse inbox buffers (native runs; the adapter reallocates)
+
+	nodes []StepCtx
+	inbox [][]Message
+
+	linkAt    [][2]int32 // edge id -> local link index at (U, V)
+	sentOff   []int      // per-node offset into sentFlags
+	sentFlags []bool     // one duplicate-send guard per directed half-edge
+
+	shards    []stepShard
+	shardSize int
+	workers   int
+
+	round      int
+	slot       Slot
+	continuing bool
+	alive      int
+	met        Metrics
+
+	errMu    sync.Mutex
+	firstErr error
+
+	workCh []chan int8
+	ackCh  chan struct{}
+}
+
+// RunStep executes one Machine per node of g until all machines halt, and
+// returns aggregate metrics and per-node results — the native entry point
+// of the step engine. Options are shared with Run; WithEngine is ignored.
+func RunStep(g *graph.Graph, program StepProgram, opts ...Option) (*Result, error) {
+	cfg := config{seed: 1, maxRounds: defaultMaxRounds(g)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return runStepEngine(g, program, cfg, true)
+}
+
+func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes bool) (res *Result, err error) {
+	n := g.N()
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	e := &stepEngine{
+		g:         g,
+		cfg:       cfg,
+		reuse:     reuseInboxes,
+		nodes:     make([]StepCtx, n),
+		inbox:     make([][]Message, n),
+		linkAt:    make([][2]int32, g.M()),
+		sentOff:   make([]int, n),
+		sentFlags: make([]bool, 2*g.M()),
+		workers:   workers,
+		alive:     n,
+	}
+	off := 0
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		e.sentOff[v] = off
+		off += g.Degree(id)
+		for l, h := range g.Adj(id) {
+			if g.Edge(h.EdgeID).U == id {
+				e.linkAt[h.EdgeID][0] = int32(l)
+			} else {
+				e.linkAt[h.EdgeID][1] = int32(l)
+			}
+		}
+	}
+
+	e.shardSize = (n + workers - 1) / workers
+	shardCount := (n + e.shardSize - 1) / e.shardSize
+	e.shards = make([]stepShard, shardCount)
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.lo = i * e.shardSize
+		s.hi = min(s.lo+e.shardSize, n)
+		s.out = make([][]delivered, shardCount)
+		s.awake = make([]int32, 0, s.hi-s.lo)
+		for v := s.lo; v < s.hi; v++ {
+			s.awake = append(s.awake, int32(v))
+		}
+	}
+
+	// Init hook: build every node's machine, in node order.
+	for v := 0; v < n; v++ {
+		sc := &e.nodes[v]
+		sc.id = graph.NodeID(v)
+		sc.eng = e
+		sc.rngSeed = cfg.seed*1_000_003 + int64(v)
+		sc.scheduled = true
+		if err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = nodeFailure(sc.id, r)
+				}
+			}()
+			sc.machine = program(sc)
+			return nil
+		}(); err != nil {
+			return nil, err
+		}
+		if sc.machine == nil {
+			return nil, fmt.Errorf("sim: step program returned a nil machine for node %d", sc.id)
+		}
+	}
+
+	if workers > 1 {
+		e.startWorkers()
+		defer e.stopWorkers()
+	}
+	defer e.abortMachines() // no-op unless the run ends with live adapters
+
+	stepped := make([]int, 0, shardCount)
+	awakeTotal := n
+	for round := 0; ; round++ {
+		e.round = round
+		stepped = stepped[:0]
+		for i := range e.shards {
+			if len(e.shards[i].awake) > 0 {
+				stepped = append(stepped, i)
+			}
+		}
+		e.runPhase(phaseStep, stepped, awakeTotal)
+
+		e.met.Rounds = round + 1
+
+		// Resolve the channel slot from the per-shard write summaries.
+		writers := 0
+		var wid graph.NodeID
+		var wpayload Payload
+		for _, si := range stepped {
+			s := &e.shards[si]
+			if s.writers > 0 {
+				writers += s.writers
+				wid, wpayload = s.writerID, s.writerPayload
+				s.writerPayload = nil
+			}
+			e.alive -= s.halts
+		}
+		slot := Slot{State: SlotIdle}
+		switch {
+		case writers == 0:
+			e.met.SlotsIdle++
+		case writers == 1:
+			e.met.SlotsSuccess++
+			slot = Slot{State: SlotSuccess, From: wid, Payload: wpayload}
+		default:
+			e.met.SlotsCollision++
+			slot = Slot{State: SlotCollision}
+		}
+		e.slot = slot
+
+		failed := e.err() != nil
+		if e.alive > 0 && !failed && round+1 > e.cfg.maxRounds {
+			e.recordErr(fmt.Errorf("%w: budget %d", ErrMaxRounds, e.cfg.maxRounds))
+			failed = true
+		}
+		e.continuing = e.alive > 0 && !failed
+
+		// Delivery stats accrue in destination shards; zero them all first
+		// since only shards with pending buckets are necessarily drained.
+		for i := range e.shards {
+			e.shards[i].msgs, e.shards[i].dropped = 0, 0
+		}
+		e.runPhase(phaseDeliver, stepped, awakeTotal)
+		for i := range e.shards {
+			e.met.Messages += e.shards[i].msgs
+			e.met.DroppedHalted += e.shards[i].dropped
+		}
+
+		if !e.continuing {
+			break
+		}
+		awakeTotal = 0
+		for i := range e.shards {
+			awakeTotal += len(e.shards[i].awake)
+		}
+		if awakeTotal == 0 {
+			e.recordErr(fmt.Errorf("sim: quiescent network: %d live nodes all asleep with no message in flight", e.alive))
+			break
+		}
+	}
+
+	e.abortMachines()
+	if err := e.err(); err != nil {
+		return nil, err
+	}
+	res = &Result{Metrics: e.met, Results: make([]any, n)}
+	for v := range e.nodes {
+		res.Results[v] = e.nodes[v].result
+	}
+	return res, nil
+}
+
+// runPhase executes one phase over the shards, inline when the round is
+// small or the engine single-threaded, on the worker pool otherwise.
+func (e *stepEngine) runPhase(phase int8, stepped []int, awakeTotal int) {
+	if e.workers == 1 || awakeTotal < inlineThreshold {
+		switch phase {
+		case phaseStep:
+			for _, si := range stepped {
+				e.stepShard(&e.shards[si])
+			}
+		case phaseDeliver:
+			// Only destination shards with pending buckets need draining.
+			for d := range e.shards {
+				for _, si := range stepped {
+					if len(e.shards[si].out[d]) > 0 {
+						e.deliverShard(d)
+						break
+					}
+				}
+			}
+		}
+		return
+	}
+	for i := range e.workCh {
+		e.workCh[i] <- phase
+	}
+	for range e.workCh {
+		<-e.ackCh
+	}
+}
+
+func (e *stepEngine) startWorkers() {
+	e.workCh = make([]chan int8, len(e.shards))
+	e.ackCh = make(chan struct{}, len(e.shards))
+	for i := range e.shards {
+		e.workCh[i] = make(chan int8, 1)
+		go func(i int, work <-chan int8) {
+			for phase := range work {
+				switch phase {
+				case phaseStep:
+					if len(e.shards[i].awake) > 0 {
+						e.stepShard(&e.shards[i])
+					}
+				case phaseDeliver:
+					e.deliverShard(i)
+				}
+				e.ackCh <- struct{}{}
+			}
+		}(i, e.workCh[i])
+	}
+}
+
+func (e *stepEngine) stopWorkers() {
+	for i := range e.workCh {
+		close(e.workCh[i])
+	}
+	e.workCh = nil
+}
+
+// stepShard runs the compute phase for one shard: step every awake machine,
+// stage its sends into the per-destination buckets, and summarize channel
+// writes and halts. A machine panic is recorded and aborts the run after
+// this round.
+func (e *stepEngine) stepShard(s *stepShard) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.recordErr(nodeFailure(s.cur, r))
+		}
+	}()
+	s.writers = 0
+	s.halts = 0
+	s.next = s.next[:0]
+	round, slot := e.round, e.slot
+	for _, v := range s.awake {
+		sc := &e.nodes[v]
+		s.cur = sc.id
+		sc.scheduled = false
+		sc.asleep = false
+		sc.round = round
+		halt := sc.machine.Step(Input{Round: round, Msgs: e.inbox[v], Slot: slot})
+		if e.reuse {
+			e.inbox[v] = e.inbox[v][:0]
+		} else {
+			e.inbox[v] = nil
+		}
+		if sc.chPending {
+			s.writers++
+			s.writerID = sc.id
+			s.writerPayload = sc.chWrite
+			sc.chPending, sc.chWrite = false, nil
+		}
+		if len(sc.out) > 0 {
+			base := e.sentOff[v]
+			for _, o := range sc.out {
+				if o.link >= 0 {
+					e.sentFlags[base+int(o.link)] = false
+				}
+				d := int(o.to) / e.shardSize
+				s.out[d] = append(s.out[d], delivered{to: o.to, from: sc.id, edgeID: o.edgeID, payload: o.payload})
+			}
+			sc.out = sc.out[:0]
+		}
+		switch {
+		case halt:
+			sc.halted = true
+			sc.result = sc.machine.Result()
+			s.halts++
+		case sc.asleep:
+			// Parked until a message wakes it.
+		default:
+			sc.scheduled = true
+			s.next = append(s.next, v)
+		}
+	}
+	s.awake, s.next = s.next, s.awake
+}
+
+// deliverShard runs the delivery phase for one destination shard: drain
+// every source shard's bucket (in shard order, keeping inboxes presorted by
+// sender range), sort multi-message inboxes by (sender, edge id), count
+// messages and drops, and wake sleeping recipients.
+func (e *stepEngine) deliverShard(d int) {
+	sd := &e.shards[d]
+	defer func() {
+		if r := recover(); r != nil {
+			e.recordErr(fmt.Errorf("sim: delivery to shard %d panicked: %v", d, r))
+		}
+	}()
+	continuing := e.continuing
+	for si := range e.shards {
+		bucket := e.shards[si].out[d]
+		if len(bucket) == 0 {
+			continue
+		}
+		for i := range bucket {
+			m := &bucket[i]
+			sd.msgs++
+			dst := &e.nodes[m.to]
+			if dst.halted {
+				if continuing {
+					sd.dropped++
+				}
+				continue
+			}
+			box := e.inbox[m.to]
+			if len(box) == 0 {
+				sd.touched = append(sd.touched, int32(m.to))
+				if !dst.scheduled {
+					dst.scheduled = true
+					dst.asleep = false
+					sd.awake = append(sd.awake, int32(m.to))
+				}
+			}
+			e.inbox[m.to] = append(box, Message{From: m.from, EdgeID: int(m.edgeID), Payload: m.payload})
+			m.payload = nil // drop the engine's reference once delivered
+		}
+		e.shards[si].out[d] = bucket[:0]
+	}
+	for _, v := range sd.touched {
+		if box := e.inbox[v]; len(box) > 1 {
+			sort.Slice(box, func(a, b int) bool {
+				if box[a].From != box[b].From {
+					return box[a].From < box[b].From
+				}
+				return box[a].EdgeID < box[b].EdgeID
+			})
+		}
+	}
+	sd.touched = sd.touched[:0]
+}
+
+// abortMachines unwinds machines of nodes still live when the run ends —
+// with the goroutine adapter these hold blocked program goroutines.
+func (e *stepEngine) abortMachines() {
+	for v := range e.nodes {
+		sc := &e.nodes[v]
+		if !sc.halted && sc.machine != nil {
+			if ab, ok := sc.machine.(aborter); ok {
+				ab.abortRun()
+			}
+			sc.halted = true
+		}
+	}
+}
+
+func (e *stepEngine) recordErr(err error) {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+}
+
+func (e *stepEngine) err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
+}
+
+// nodeFailure turns a recovered Step/init panic into the run's error,
+// mirroring the goroutine engine's wording for program errors and panics.
+func nodeFailure(id graph.NodeID, r any) error {
+	if f, ok := r.(failError); ok {
+		return fmt.Errorf("sim: node %d: %w", id, f.err)
+	}
+	if err, ok := r.(error); ok && errors.Is(err, errAborted) {
+		return nil
+	}
+	return fmt.Errorf("sim: node %d panicked: %v", id, r)
+}

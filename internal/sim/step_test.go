@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// stepFuncs adapts plain closures to a Machine for tests.
+type stepFuncs struct {
+	step   func(in Input) bool
+	result func() any
+}
+
+func (m *stepFuncs) Step(in Input) bool { return m.step(in) }
+func (m *stepFuncs) Result() any {
+	if m.result == nil {
+		return nil
+	}
+	return m.result()
+}
+
+func TestStepImmediateHalt(t *testing.T) {
+	res, err := RunStep(ring(t, 5), func(c *StepCtx) Machine {
+		return &stepFuncs{step: func(Input) bool { return true }}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds != 1 || res.Metrics.Messages != 0 || res.Metrics.SlotsIdle != 1 {
+		t.Errorf("metrics = %+v", res.Metrics)
+	}
+}
+
+func TestStepMessageDeliveryAndSorting(t *testing.T) {
+	// All ring neighbors of node 0 send to it in round 0; its round-1 inbox
+	// must hold both messages sorted by sender.
+	g := ring(t, 6)
+	res, err := RunStep(g, func(c *StepCtx) Machine {
+		return &stepFuncs{step: func(in Input) bool {
+			switch in.Round {
+			case 0:
+				if c.ID() != 0 {
+					if l, ok := c.Link(0); ok {
+						c.Send(l, int(c.ID()))
+					}
+					return true
+				}
+				return false
+			default:
+				if c.ID() == 0 {
+					if len(in.Msgs) != 2 || in.Msgs[0].From >= in.Msgs[1].From {
+						c.Failf("inbox %v", in.Msgs)
+					}
+				}
+				return true
+			}
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Messages != 2 {
+		t.Errorf("Messages = %d, want 2", res.Metrics.Messages)
+	}
+}
+
+func TestStepChannelResolution(t *testing.T) {
+	for _, tt := range []struct {
+		name    string
+		writers []graph.NodeID
+		want    SlotState
+	}{
+		{"idle", nil, SlotIdle},
+		{"success", []graph.NodeID{2}, SlotSuccess},
+		{"collision", []graph.NodeID{1, 3}, SlotCollision},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			writerSet := make(map[graph.NodeID]bool)
+			for _, w := range tt.writers {
+				writerSet[w] = true
+			}
+			res, err := RunStep(ring(t, 5), func(c *StepCtx) Machine {
+				return &stepFuncs{step: func(in Input) bool {
+					if in.Round == 0 {
+						if writerSet[c.ID()] {
+							c.Broadcast(int(c.ID()) * 10)
+						}
+						return false
+					}
+					if in.Slot.State != tt.want {
+						c.Failf("slot %v, want %v", in.Slot.State, tt.want)
+					}
+					if tt.want == SlotSuccess &&
+						(in.Slot.From != tt.writers[0] || in.Slot.Payload.(int) != int(tt.writers[0])*10) {
+						c.Failf("slot %+v", in.Slot)
+					}
+					return true
+				}}
+			}, WithWorkers(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = res
+		})
+	}
+}
+
+func TestStepResultHook(t *testing.T) {
+	res, err := RunStep(ring(t, 4), func(c *StepCtx) Machine {
+		id := c.ID()
+		return &stepFuncs{
+			step:   func(Input) bool { return true },
+			result: func() any { return int(id) * 11 },
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range res.Results {
+		if r != v*11 {
+			t.Errorf("result[%d] = %v", v, r)
+		}
+	}
+}
+
+func TestStepRoundNumbering(t *testing.T) {
+	_, err := RunStep(ring(t, 3), func(c *StepCtx) Machine {
+		return &stepFuncs{step: func(in Input) bool {
+			if in.Round != c.Round() {
+				c.Failf("in.Round %d != ctx round %d", in.Round, c.Round())
+			}
+			return in.Round == 3
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepSleepWave(t *testing.T) {
+	// A token travels around the ring; every node sleeps until it arrives.
+	const n = 64
+	res, err := RunStep(ring(t, n), func(c *StepCtx) Machine {
+		return &stepFuncs{step: func(in Input) bool {
+			relay := func() {
+				// Forward to the neighbor with the next id (mod n).
+				next := graph.NodeID((int(c.ID()) + 1) % n)
+				if next != 0 {
+					c.SendTo(next, "token")
+				}
+			}
+			if in.Round == 0 {
+				if c.ID() == 0 {
+					relay()
+					return true
+				}
+				c.Sleep()
+				return false
+			}
+			if len(in.Msgs) == 0 {
+				c.Failf("woken with no mail in round %d", in.Round)
+			}
+			relay()
+			return true
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds != n || res.Metrics.Messages != n-1 {
+		t.Errorf("rounds=%d msgs=%d, want %d and %d", res.Metrics.Rounds, res.Metrics.Messages, n, n-1)
+	}
+}
+
+func TestStepQuiescenceDetected(t *testing.T) {
+	_, err := RunStep(ring(t, 4), func(c *StepCtx) Machine {
+		return &stepFuncs{step: func(Input) bool {
+			c.Sleep() // everyone sleeps forever; no message is ever sent
+			return false
+		}}
+	})
+	if err == nil || !strings.Contains(err.Error(), "quiescent") {
+		t.Fatalf("err = %v, want quiescence error", err)
+	}
+}
+
+func TestStepMaxRounds(t *testing.T) {
+	_, err := RunStep(ring(t, 3), func(c *StepCtx) Machine {
+		return &stepFuncs{step: func(Input) bool { return false }}
+	}, WithMaxRounds(10))
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestStepPanicReported(t *testing.T) {
+	_, err := RunStep(ring(t, 3), func(c *StepCtx) Machine {
+		return &stepFuncs{step: func(Input) bool {
+			if c.ID() == 1 {
+				panic("kaboom")
+			}
+			return false
+		}}
+	})
+	if err == nil || !strings.Contains(err.Error(), "node 1 panicked") {
+		t.Fatalf("err = %v, want node 1 panic", err)
+	}
+}
+
+func TestStepDoubleSendPanics(t *testing.T) {
+	_, err := RunStep(path(t, 2), func(c *StepCtx) Machine {
+		return &stepFuncs{step: func(Input) bool {
+			c.Send(0, 1)
+			c.Send(0, 2)
+			return true
+		}}
+	})
+	if err == nil || !strings.Contains(err.Error(), "sent twice") {
+		t.Fatalf("err = %v, want double-send error", err)
+	}
+}
+
+func TestStepDroppedToHalted(t *testing.T) {
+	res, err := RunStep(path(t, 2), func(c *StepCtx) Machine {
+		return &stepFuncs{step: func(in Input) bool {
+			if c.ID() == 0 {
+				return true
+			}
+			if in.Round == 1 {
+				c.Send(0, "late")
+			}
+			return in.Round == 2
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.DroppedHalted != 1 {
+		t.Errorf("DroppedHalted = %d, want 1", res.Metrics.DroppedHalted)
+	}
+}
+
+// chatterProgram is a randomized goroutine Program used to cross-check the
+// engines: every transcript-visible artifact (results and metrics) must be
+// identical between the goroutine engine and the step-engine adapter.
+func chatterProgram(rounds int) Program {
+	return func(ctx *Ctx) error {
+		var heard int64
+		for r := 0; r < rounds; r++ {
+			if ctx.Rand().Intn(3) == 0 {
+				ctx.Broadcast(int(ctx.ID()))
+			}
+			if ctx.Rand().Intn(2) == 0 && ctx.Degree() > 0 {
+				ctx.Send(ctx.Rand().Intn(ctx.Degree()), r)
+			}
+			in := ctx.Tick()
+			heard += int64(len(in.Msgs))
+			if in.Slot.State == SlotSuccess {
+				heard += 1000
+			}
+		}
+		ctx.SetResult(heard)
+		return nil
+	}
+}
+
+func TestAdapterMatchesGoroutineEngine(t *testing.T) {
+	g, err := graph.RandomConnected(40, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(g, chatterProgram(12), WithSeed(99), WithEngine(EngineGoroutine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got, err := Run(g, chatterProgram(12), WithSeed(99), WithEngine(EngineStep), WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want.Results, got.Results) {
+			t.Errorf("workers=%d: results differ", workers)
+		}
+		if want.Metrics != got.Metrics {
+			t.Errorf("workers=%d: metrics %+v vs %+v", workers, want.Metrics, got.Metrics)
+		}
+	}
+}
+
+func TestAdapterProgramErrorAborts(t *testing.T) {
+	wantErr := errors.New("boom")
+	_, err := Run(ring(t, 4), func(ctx *Ctx) error {
+		if ctx.ID() == 2 {
+			return wantErr
+		}
+		for {
+			ctx.Tick()
+		}
+	}, WithEngine(EngineStep))
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestAdapterMaxRounds(t *testing.T) {
+	_, err := Run(ring(t, 3), func(ctx *Ctx) error {
+		for {
+			ctx.Tick()
+		}
+	}, WithMaxRounds(10), WithEngine(EngineStep))
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestStepBarrierMatchesBarrierStep(t *testing.T) {
+	// One barrier-synchronized flood from node 0, written both ways; the
+	// transcripts must match exactly.
+	g, err := graph.RandomConnected(30, 45, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gor, err := Run(g, func(ctx *Ctx) error {
+		seen := ctx.ID() == 0
+		BarrierStep(ctx, Input{}, func(in Input) bool {
+			if !seen && len(in.Msgs) > 0 {
+				seen = true
+				for l := 0; l < ctx.Degree(); l++ {
+					ctx.Send(l, "wave")
+				}
+			}
+			if seen && in.Round == 0 && ctx.ID() == 0 {
+				for l := 0; l < ctx.Degree(); l++ {
+					ctx.Send(l, "wave")
+				}
+			}
+			return false
+		})
+		ctx.SetResult(seen)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := RunStep(g, func(c *StepCtx) Machine {
+		b := NewStepBarrier(c)
+		seen := c.ID() == 0
+		return &stepFuncs{
+			step: func(in Input) bool {
+				return b.Step(in, func(in Input) bool {
+					if !seen && len(in.Msgs) > 0 {
+						seen = true
+						for l := 0; l < c.Degree(); l++ {
+							c.Send(l, "wave")
+						}
+					}
+					if seen && in.Round == 0 && c.ID() == 0 {
+						for l := 0; l < c.Degree(); l++ {
+							c.Send(l, "wave")
+						}
+					}
+					return false
+				})
+			},
+			result: func() any { return seen },
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gor.Results, nat.Results) {
+		t.Error("results differ between BarrierStep and StepBarrier")
+	}
+	if gor.Metrics != nat.Metrics {
+		t.Errorf("metrics differ: %+v vs %+v", gor.Metrics, nat.Metrics)
+	}
+	for _, r := range nat.Results {
+		if r != true {
+			t.Fatalf("flood did not reach every node: %v", nat.Results)
+		}
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	if e, err := ParseEngine("step"); err != nil || e != EngineStep {
+		t.Errorf("ParseEngine(step) = %v, %v", e, err)
+	}
+	if e, err := ParseEngine("goroutine"); err != nil || e != EngineGoroutine {
+		t.Errorf("ParseEngine(goroutine) = %v, %v", e, err)
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Error("ParseEngine(warp) should fail")
+	}
+	if EngineStep.String() != "step" || EngineGoroutine.String() != "goroutine" {
+		t.Error("Engine.String mismatch")
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+// StepBarrier is the native-machine form of BarrierStep: the §7.1
+// channel-as-synchronizer barrier expressed round by round instead of as a
+// blocking loop. A machine that runs a barrier-synchronized step feeds each
+// round's Input through Step; the barrier transmits the busy tone while the
+// node is active or has a message in flight and reports true on the round
+// that carries the global pulse (the previous slot was idle), which by the
+// synchronous-delivery argument of barrier.go means the step has terminated
+// at every node. As with BarrierStep, the pulse round's input carries no
+// messages and must be handed to whatever the machine does next.
+type StepBarrier struct {
+	c     *StepCtx
+	armed bool
+}
+
+// NewStepBarrier returns a barrier for the node. The zero value is not
+// usable; a fresh barrier (or one that has just fired) starts a new step.
+func NewStepBarrier(c *StepCtx) *StepBarrier { return &StepBarrier{c: c} }
+
+// Step advances the barrier-synchronized step by one round. handle performs
+// the node's sends for the round and reports whether the node is still
+// active; nodes that sent are treated as active regardless, which
+// guarantees no message is in flight when the barrier fires. It returns
+// true — without calling handle — on the round the pulse arrives, leaving
+// the barrier reset for the next step.
+func (b *StepBarrier) Step(in Input, handle func(Input) bool) (done bool) {
+	if b.armed && in.IsPulse() {
+		b.armed = false
+		return true
+	}
+	active := handle(in)
+	if active || b.c.SentThisRound() {
+		b.c.Busy()
+	}
+	b.armed = true
+	return false
+}

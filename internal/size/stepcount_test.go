@@ -1,0 +1,59 @@
+package size
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCensusCountsExactly(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+		n    int
+	}{
+		{"ring200", func() (*graph.Graph, error) { return graph.Ring(200, 1) }, 200},
+		{"grid12x12", func() (*graph.Graph, error) { return graph.Grid(12, 12, 2) }, 144},
+		{"random81", func() (*graph.Graph, error) { return graph.RandomConnected(81, 160, 3) }, 81},
+		{"path2", func() (*graph.Graph, error) { return graph.Path(2, 4) }, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Census(g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.N != tc.n {
+				t.Errorf("census = %d, want %d", res.N, tc.n)
+			}
+			if res.Metrics.Slots() != 0 {
+				t.Errorf("census used %d channel slots", res.Metrics.Slots())
+			}
+		})
+	}
+}
+
+// TestEstimateStepMatchesEstimate checks the native Greenberg–Ladner port
+// against the goroutine form: identical estimates and metrics, seed by seed.
+func TestEstimateStepMatchesEstimate(t *testing.T) {
+	g, err := graph.RandomConnected(120, 240, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		gor, err := Estimate(g, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nat, err := EstimateStep(g, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gor.Estimate != nat.Estimate || gor.Rounds != nat.Rounds || gor.Metrics != nat.Metrics {
+			t.Errorf("seed %d: goroutine %+v, native %+v", seed, gor, nat)
+		}
+	}
+}
