@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short bench-quick ci
+.PHONY: build vet test test-short test-race bench-quick chaos ci
 
 ## build: compile every package (the tier-1 gate's first half)
 build:
@@ -17,6 +17,14 @@ test:
 ## test-short: skip the scale gates (seconds instead of tens of seconds)
 test-short:
 	$(GO) test -short ./...
+
+## test-race: the short suite under the race detector (CI's second job)
+test-race:
+	$(GO) test -race -short ./...
+
+## chaos: the E10 smoke configuration — fault-injection degradation tables
+chaos:
+	$(GO) run ./cmd/mmexp -only E10
 
 ## bench-quick: one pass of the engine-comparison benchmarks
 bench-quick:

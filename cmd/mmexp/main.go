@@ -8,46 +8,72 @@
 //	mmexp -full          # full sweep used for EXPERIMENTS.md (minutes)
 //	mmexp -only E3       # a single experiment
 //	mmexp -only E9       # step-engine scaling table (10⁶ nodes with -full)
+//	mmexp -only E10      # chaos: degradation under crash/jam fault plans
 //	mmexp -engine step   # run every experiment on the step engine
+//	mmexp -jam 0.2       # ... under a 20% channel-jamming plan
 //	mmexp -list          # list the registry
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mmexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	full := flag.Bool("full", false, "run the full parameter sweep (slow)")
-	only := flag.String("only", "", "run a single experiment by id (e.g. E3)")
-	list := flag.Bool("list", false, "list experiments and exit")
-	engine := flag.String("engine", "goroutine", "execution engine for all experiments: goroutine|step")
-	workers := flag.Int("workers", 0, "step-engine worker count (0 = GOMAXPROCS)")
-	flag.Parse()
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mmexp", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		full      = fs.Bool("full", false, "run the full parameter sweep (slow)")
+		only      = fs.String("only", "", "run a single experiment by id (e.g. E3)")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		engine    = fs.String("engine", "goroutine", "execution engine for all experiments: goroutine|step")
+		workers   = fs.Int("workers", 0, "step-engine worker count (0 = GOMAXPROCS)")
+		faults    = fs.String("faults", "", "fault plan DSL applied to every experiment (E10 installs its own plans)")
+		crashFrac = fs.Float64("crash", 0, "crash-stop this fraction of nodes at round 1 in every run")
+		jamRate   = fs.Float64("jam", 0, "jam every channel slot with this probability")
+		faultSeed = fs.Int64("fault-seed", 1, "seed for the fault plan's probabilistic rules")
+		maxRounds = fs.Int("max-rounds", 0, "round budget per run (0 = graph-derived default); bound wedged faulted runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	eng, err := sim.ParseEngine(*engine)
 	if err != nil {
 		return err
 	}
-	sim.DefaultEngine = eng
-	sim.DefaultWorkers = *workers
+	plan, err := fault.FromFlags(*faults, *crashFrac, *jamRate, *faultSeed)
+	if err != nil {
+		return err
+	}
+	oldE, oldW, oldF, oldM := sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds
+	sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds = eng, *workers, plan, *maxRounds
+	defer func() {
+		sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds = oldE, oldW, oldF, oldM
+	}()
 
 	experiments := exp.All()
 	if *list {
 		for _, e := range experiments {
-			fmt.Printf("%-3s %-38s %s\n", e.ID, e.Name, e.Claim)
+			fmt.Fprintf(w, "%-3s %-38s %s\n", e.ID, e.Name, e.Claim)
 		}
 		return nil
 	}
@@ -56,11 +82,11 @@ func run() error {
 		if *only != "" && !strings.EqualFold(e.ID, *only) {
 			continue
 		}
-		fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Name, e.Claim)
-		if err := e.Run(os.Stdout, *full); err != nil {
+		fmt.Fprintf(w, "== %s: %s\n   claim: %s\n", e.ID, e.Name, e.Claim)
+		if err := e.Run(w, *full); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		ran++
 	}
 	if ran == 0 {

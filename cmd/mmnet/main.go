@@ -10,14 +10,21 @@
 //	mmnet -graph ring -n 100 -algo count
 //	mmnet -graph ring -n 256 -algo mst -engine step
 //	mmnet -graph ring -n 1000000 -algo census
+//	mmnet -graph ring -n 100000 -algo census -jam 1
+//	mmnet -graph random -n 256 -algo sum -faults 'jam:1-40/p0.5;drop:3@2-'
+//	mmnet -graph ring -n 64 -algo count -json
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/globalfunc"
 	"repro/internal/graph"
 	"repro/internal/mst"
@@ -29,34 +36,78 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mmnet:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// report is one algorithm run's outcome in both human and machine form.
+type report struct {
+	lines   []string       // human-readable lines, printed before the metrics
+	result  map[string]any // machine-readable fields for -json
+	metrics *sim.Metrics
+}
+
+func (r *report) addf(format string, args ...any) {
+	r.lines = append(r.lines, fmt.Sprintf(format, args...))
+}
+
+func (r *report) set(key string, v any) {
+	if r.result == nil {
+		r.result = make(map[string]any)
+	}
+	r.result[key] = v
+}
+
+// setSimDefaults installs the process-wide simulator defaults the flags
+// describe and returns a restore function (keeps tests hermetic).
+func setSimDefaults(eng sim.Engine, workers int, plan *fault.Plan, maxRounds int) func() {
+	oldE, oldW, oldF, oldM := sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds
+	sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds = eng, workers, plan, maxRounds
+	return func() {
+		sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds = oldE, oldW, oldF, oldM
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mmnet", flag.ContinueOnError)
+	fs.SetOutput(w)
 	var (
-		gname   = flag.String("graph", "random", "topology: ring|path|grid|torus|random|complete|star|btree|ray")
-		n       = flag.Int("n", 256, "number of nodes (ring/path/random/complete/star/btree)")
-		extra   = flag.Int("extra", 256, "extra edges beyond the spanning tree (random)")
-		rays    = flag.Int("rays", 8, "rays (ray graph)")
-		rayLen  = flag.Int("raylen", 8, "ray length (ray graph)")
-		seed    = flag.Int64("seed", 1, "master seed")
-		algo    = flag.String("algo", "partition-det", "partition-det|partition-rand|partition-lv|mst|mst-boruvka|sum|min|p2p-sum|bcast-sum|count|census|estimate|estimate-step|elect|snapshot")
-		variant = flag.String("variant", "det", "multimedia function variant: det|balanced|rand")
-		stage   = flag.String("stage", "cap", "global stage: cap|mb")
-		engine  = flag.String("engine", "goroutine", "execution engine: goroutine|step (census and estimate-step are native step-engine protocols and always run on step)")
-		workers = flag.Int("workers", 0, "step-engine worker count (0 = GOMAXPROCS)")
+		gname     = fs.String("graph", "random", "topology: ring|path|grid|torus|random|complete|star|btree|ray")
+		n         = fs.Int("n", 256, "number of nodes (ring/path/random/complete/star/btree)")
+		extra     = fs.Int("extra", 256, "extra edges beyond the spanning tree (random)")
+		rays      = fs.Int("rays", 8, "rays (ray graph)")
+		rayLen    = fs.Int("raylen", 8, "ray length (ray graph)")
+		seed      = fs.Int64("seed", 1, "master seed")
+		algo      = fs.String("algo", "partition-det", "partition-det|partition-rand|partition-lv|mst|mst-boruvka|sum|min|p2p-sum|bcast-sum|count|census|estimate|estimate-step|elect|snapshot")
+		variant   = fs.String("variant", "det", "multimedia function variant: det|balanced|rand")
+		stage     = fs.String("stage", "cap", "global stage: cap|mb")
+		engine    = fs.String("engine", "goroutine", "execution engine: goroutine|step (census and estimate-step are native step-engine protocols and always run on step)")
+		workers   = fs.Int("workers", 0, "step-engine worker count (0 = GOMAXPROCS)")
+		jsonOut   = fs.Bool("json", false, "emit the run as one machine-readable JSON object on stdout")
+		faults    = fs.String("faults", "", "fault plan DSL, e.g. 'crash:7@10;jam:4-12/p0.5;drop:3@5-' (see README, Fault model)")
+		crashFrac = fs.Float64("crash", 0, "crash-stop this fraction of nodes at round 1 (seeded-random victims)")
+		jamRate   = fs.Float64("jam", 0, "jam every channel slot with this probability")
+		faultSeed = fs.Int64("fault-seed", 1, "seed for the fault plan's probabilistic rules (unless the DSL pins seed:N)")
+		maxRounds = fs.Int("max-rounds", 0, "round budget per run (0 = graph-derived default); bound wedged faulted runs")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	eng, err := sim.ParseEngine(*engine)
 	if err != nil {
 		return err
 	}
-	sim.DefaultEngine = eng
-	sim.DefaultWorkers = *workers
+	plan, err := fault.FromFlags(*faults, *crashFrac, *jamRate, *faultSeed)
+	if err != nil {
+		return err
+	}
+	defer setSimDefaults(eng, *workers, plan, *maxRounds)()
 
 	g, err := makeGraph(*gname, *n, *extra, *rays, *rayLen, *seed)
 	if err != nil {
@@ -66,124 +117,189 @@ func run() error {
 	if *algo == "census" || *algo == "estimate-step" {
 		engineLabel = "step (native protocol)"
 	}
-	fmt.Printf("graph=%s n=%d m=%d diameter>=%d sqrt(n)=%d engine=%s\n",
-		*gname, g.N(), g.M(), graph.DiameterLowerBound(g), partition.SqrtN(g.N()), engineLabel)
 
-	switch *algo {
+	rep, err := runAlgo(*algo, g, *seed, *variant, *stage)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		obj := map[string]any{
+			"graph":   *gname,
+			"n":       g.N(),
+			"m":       g.M(),
+			"engine":  engineLabel,
+			"algo":    *algo,
+			"seed":    *seed,
+			"result":  rep.result,
+			"metrics": rep.metrics,
+		}
+		if plan != nil {
+			obj["faults"] = plan.String()
+		}
+		enc := json.NewEncoder(w)
+		return enc.Encode(obj)
+	}
+
+	fmt.Fprintf(w, "graph=%s n=%d m=%d diameter>=%d sqrt(n)=%d engine=%s\n",
+		*gname, g.N(), g.M(), graph.DiameterLowerBound(g), partition.SqrtN(g.N()), engineLabel)
+	if plan != nil {
+		fmt.Fprintf(w, "faults=%s\n", plan)
+	}
+	for _, line := range rep.lines {
+		fmt.Fprintln(w, line)
+	}
+	printMetrics(w, rep.metrics)
+	return nil
+}
+
+// runAlgo executes one algorithm and reports its outcome — the testable
+// core of the command.
+func runAlgo(algo string, g *graph.Graph, seed int64, variant, stage string) (*report, error) {
+	rep := &report{}
+	switch algo {
 	case "partition-det":
-		f, met, info, err := partition.Deterministic(g, *seed)
+		f, met, info, err := partition.Deterministic(g, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		st := f.Stats()
-		fmt.Printf("deterministic partition: trees=%d minSize=%d maxRadius=%d phases=%d\n",
+		rep.addf("deterministic partition: trees=%d minSize=%d maxRadius=%d phases=%d",
 			st.Trees, st.MinSize, st.MaxRadius, info.Phases)
-		printMetrics(met)
+		rep.set("trees", st.Trees)
+		rep.set("min_size", st.MinSize)
+		rep.set("max_radius", st.MaxRadius)
+		rep.set("phases", info.Phases)
+		rep.metrics = met
 	case "partition-rand":
-		f, met, info, err := partition.Randomized(g, *seed)
+		f, met, info, err := partition.Randomized(g, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		st := f.Stats()
-		fmt.Printf("randomized partition: trees=%d maxRadius=%d (bound %d) iterations=%d\n",
+		rep.addf("randomized partition: trees=%d maxRadius=%d (bound %d) iterations=%d",
 			st.Trees, st.MaxRadius, 4*partition.SqrtN(g.N()), info.Iterations)
-		printMetrics(met)
+		rep.set("trees", st.Trees)
+		rep.set("max_radius", st.MaxRadius)
+		rep.set("iterations", info.Iterations)
+		rep.metrics = met
 	case "partition-lv":
-		f, met, info, err := partition.RandomizedLasVegas(g, *seed)
+		f, met, info, err := partition.RandomizedLasVegas(g, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		st := f.Stats()
-		fmt.Printf("las vegas partition: trees=%d (bound %d) restarts=%d\n",
+		rep.addf("las vegas partition: trees=%d (bound %d) restarts=%d",
 			st.Trees, 2*partition.SqrtN(g.N()), info.Restarts)
-		printMetrics(met)
+		rep.set("trees", st.Trees)
+		rep.set("restarts", info.Restarts)
+		rep.metrics = met
 	case "mst":
-		res, err := mst.Multimedia(g, *seed)
+		res, err := mst.Multimedia(g, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		want, err := graph.Kruskal(g)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("multimedia MST: weight=%d edges=%d fragments=%d phases=%d kruskal-match=%v\n",
+		rep.addf("multimedia MST: weight=%d edges=%d fragments=%d phases=%d kruskal-match=%v",
 			res.MST.Total, len(res.MST.EdgeIDs), res.InitialFragments, res.Phases, res.MST.Equal(want))
-		printMetrics(&res.Total)
+		rep.set("weight", res.MST.Total)
+		rep.set("edges", len(res.MST.EdgeIDs))
+		rep.set("fragments", res.InitialFragments)
+		rep.set("phases", res.Phases)
+		rep.set("kruskal_match", res.MST.Equal(want))
+		rep.metrics = &res.Total
 	case "mst-boruvka":
-		res, err := mst.Boruvka(g, *seed)
+		res, err := mst.Boruvka(g, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("boruvka baseline MST: weight=%d phases=%d\n", res.MST.Total, res.Phases)
-		printMetrics(&res.Total)
+		rep.addf("boruvka baseline MST: weight=%d phases=%d", res.MST.Total, res.Phases)
+		rep.set("weight", res.MST.Total)
+		rep.set("phases", res.Phases)
+		rep.metrics = &res.Total
 	case "sum", "min":
 		op := globalfunc.Sum
-		if *algo == "min" {
+		if algo == "min" {
 			op = globalfunc.Min
 		}
 		v := map[string]globalfunc.Variant{
 			"det": globalfunc.VariantDeterministic, "balanced": globalfunc.VariantBalanced,
 			"rand": globalfunc.VariantRandomized,
-		}[*variant]
+		}[variant]
 		s := map[string]globalfunc.Stage{
 			"cap": globalfunc.StageCapetanakis, "mb": globalfunc.StageMetcalfeBoggs,
-		}[*stage]
+		}[stage]
 		if v == 0 || s == 0 {
-			return fmt.Errorf("unknown variant %q or stage %q", *variant, *stage)
+			return nil, fmt.Errorf("unknown variant %q or stage %q", variant, stage)
 		}
-		res, err := globalfunc.Multimedia(g, *seed, op, inputs, v, s)
+		res, err := globalfunc.Multimedia(g, seed, op, inputs, v, s)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("multimedia %s = %d (reference %d), trees=%d\n",
-			op.Name, res.Value, globalfunc.Reference(g, op, inputs), res.Trees)
-		printMetrics(&res.Total)
+		ref := globalfunc.Reference(g, op, inputs)
+		rep.addf("multimedia %s = %d (reference %d), trees=%d", op.Name, res.Value, ref, res.Trees)
+		rep.set("value", res.Value)
+		rep.set("reference", ref)
+		rep.set("trees", res.Trees)
+		rep.metrics = &res.Total
 	case "p2p-sum":
-		res, err := globalfunc.PointToPoint(g, *seed, globalfunc.Sum, inputs)
+		res, err := globalfunc.PointToPoint(g, seed, globalfunc.Sum, inputs)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("point-to-point sum = %d\n", res.Value)
-		printMetrics(&res.Total)
+		rep.addf("point-to-point sum = %d", res.Value)
+		rep.set("value", res.Value)
+		rep.metrics = &res.Total
 	case "bcast-sum":
-		res, err := globalfunc.BroadcastOnly(g, *seed, globalfunc.Sum, inputs, globalfunc.StageCapetanakis)
+		res, err := globalfunc.BroadcastOnly(g, seed, globalfunc.Sum, inputs, globalfunc.StageCapetanakis)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("broadcast-only sum = %d\n", res.Value)
-		printMetrics(&res.Total)
+		rep.addf("broadcast-only sum = %d", res.Value)
+		rep.set("value", res.Value)
+		rep.metrics = &res.Total
 	case "count":
-		res, err := size.Exact(g, *seed, 0)
+		res, err := size.Exact(g, seed, 0)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("deterministic size computation: n=%d phases=%d\n", res.N, res.Phases)
-		printMetrics(&res.Metrics)
+		rep.addf("deterministic size computation: n=%d phases=%d", res.N, res.Phases)
+		rep.set("n", res.N)
+		rep.set("phases", res.Phases)
+		rep.metrics = &res.Metrics
 	case "census":
 		// Native step-machine census: exact n on the point-to-point network,
 		// built for million-node graphs (always runs on the step engine).
-		res, err := size.Census(g, *seed)
+		res, err := size.Census(g, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("native step census: n=%d\n", res.N)
-		printMetrics(&res.Metrics)
+		rep.addf("native step census: n=%d", res.N)
+		rep.set("n", res.N)
+		rep.metrics = &res.Metrics
 	case "estimate":
-		res, err := size.Estimate(g, *seed)
+		res, err := size.Estimate(g, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("randomized size estimate: 2^k=%d (true n=%d, ratio %.2f)\n",
+		rep.addf("randomized size estimate: 2^k=%d (true n=%d, ratio %.2f)",
 			res.Estimate, g.N(), float64(res.Estimate)/float64(g.N()))
-		printMetrics(&res.Metrics)
+		rep.set("estimate", res.Estimate)
+		rep.set("ratio", float64(res.Estimate)/float64(g.N()))
+		rep.metrics = &res.Metrics
 	case "estimate-step":
-		res, err := size.EstimateStep(g, *seed)
+		res, err := size.EstimateStep(g, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("native step size estimate: 2^k=%d (true n=%d, ratio %.2f)\n",
+		rep.addf("native step size estimate: 2^k=%d (true n=%d, ratio %.2f)",
 			res.Estimate, g.N(), float64(res.Estimate)/float64(g.N()))
-		printMetrics(&res.Metrics)
+		rep.set("estimate", res.Estimate)
+		rep.set("ratio", float64(res.Estimate)/float64(g.N()))
+		rep.metrics = &res.Metrics
 	case "elect":
 		res, err := sim.Run(g, func(c *sim.Ctx) error {
 			leader, ok, _ := resolve.Election(c, sim.Input{}, c.N(), true, int(c.ID()))
@@ -192,12 +308,13 @@ func run() error {
 			}
 			c.SetResult(leader)
 			return nil
-		}, sim.WithSeed(*seed))
+		}, sim.WithSeed(seed))
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("deterministic election: leader=%v (max id)\n", res.Results[0])
-		printMetrics(&res.Metrics)
+		rep.addf("deterministic election: leader=%v (max id)", res.Results[0])
+		rep.set("leader", res.Results[0])
+		rep.metrics = &res.Metrics
 	case "snapshot":
 		res, err := sim.Run(g, func(c *sim.Ctx) error {
 			cut, ok, _ := snapshot.Take(c, sim.Input{}, c.ID() == 0, func(int) {})
@@ -206,16 +323,17 @@ func run() error {
 			}
 			c.SetResult(cut)
 			return nil
-		}, sim.WithSeed(*seed))
+		}, sim.WithSeed(seed))
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("snapshot cut: %+v at every node\n", res.Results[0])
-		printMetrics(&res.Metrics)
+		rep.addf("snapshot cut: %+v at every node", res.Results[0])
+		rep.set("cut", fmt.Sprintf("%+v", res.Results[0]))
+		rep.metrics = &res.Metrics
 	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
 	}
-	return nil
+	return rep, nil
 }
 
 func inputs(v graph.NodeID) int64 { return (int64(v)*2654435761 + 17) % 10_000 }
@@ -247,7 +365,11 @@ func makeGraph(name string, n, extra, rays, rayLen int, seed int64) (*graph.Grap
 	}
 }
 
-func printMetrics(m *sim.Metrics) {
-	fmt.Printf("time=%d rounds, messages=%d, slots: idle=%d success=%d collision=%d, communication=%d\n",
+func printMetrics(w io.Writer, m *sim.Metrics) {
+	fmt.Fprintf(w, "time=%d rounds, messages=%d, slots: idle=%d success=%d collision=%d, communication=%d\n",
 		m.Rounds, m.Messages, m.SlotsIdle, m.SlotsSuccess, m.SlotsCollision, m.Communication())
+	if m.Crashed+m.DroppedFault+m.Delayed+m.Duplicated+m.SlotsJammed > 0 {
+		fmt.Fprintf(w, "faults: crashed=%d dropped=%d delayed=%d duplicated=%d jammed-slots=%d\n",
+			m.Crashed, m.DroppedFault, m.Delayed, m.Duplicated, m.SlotsJammed)
+	}
 }

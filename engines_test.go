@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/globalfunc"
 	"repro/internal/graph"
 	"repro/internal/mst"
@@ -22,65 +23,68 @@ func withEngine(t *testing.T, e sim.Engine, f func()) {
 	f()
 }
 
+// equivalenceTopologies are the topology families the paper evaluates.
+var equivalenceTopologies = []struct {
+	name string
+	mk   func() (*graph.Graph, error)
+}{
+	{"ring48", func() (*graph.Graph, error) { return graph.Ring(48, 2) }},
+	{"random33", func() (*graph.Graph, error) { return graph.RandomConnected(33, 66, 10) }},
+	{"ray4x4", func() (*graph.Graph, error) { return graph.Ray(4, 4, 9) }},
+}
+
+// equivalenceProtocols are the module's protocols, each returning its full
+// observable outcome as a value compared with reflect.DeepEqual.
+var equivalenceProtocols = []struct {
+	name string
+	run  func(g *graph.Graph) (any, error)
+}{
+	{"partition-det", func(g *graph.Graph) (any, error) {
+		f, met, info, err := partition.Deterministic(g, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []any{f.Parent, f.ParentEdge, *met, info.Phases}, nil
+	}},
+	{"partition-rand", func(g *graph.Graph) (any, error) {
+		f, met, info, err := partition.Randomized(g, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []any{f.Parent, f.ParentEdge, *met, info.Iterations}, nil
+	}},
+	{"mst", func(g *graph.Graph) (any, error) {
+		res, err := mst.Multimedia(g, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []any{res.MST.EdgeIDs, res.MST.Total, res.Phases, res.Total}, nil
+	}},
+	{"sum", func(g *graph.Graph) (any, error) {
+		in := func(v graph.NodeID) int64 { return (int64(v)*97 + 5) % 1000 }
+		res, err := globalfunc.Multimedia(g, 1, globalfunc.Sum, in,
+			globalfunc.VariantDeterministic, globalfunc.StageCapetanakis)
+		if err != nil {
+			return nil, err
+		}
+		return []any{res.Value, res.Trees, res.Total}, nil
+	}},
+	{"count", func(g *graph.Graph) (any, error) {
+		res, err := size.Exact(g, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []any{res.N, res.Phases, res.Metrics}, nil
+	}},
+}
+
 // TestEngineEquivalence is the cross-engine determinism gate: for a fixed
 // seed, the goroutine engine and the step engine must produce byte-identical
 // results and identical metrics for every protocol of the module, on every
-// topology family the paper evaluates. Each case returns its full observable
-// outcome as a value compared with reflect.DeepEqual.
+// topology family the paper evaluates.
 func TestEngineEquivalence(t *testing.T) {
-	topologies := []struct {
-		name string
-		mk   func() (*graph.Graph, error)
-	}{
-		{"ring48", func() (*graph.Graph, error) { return graph.Ring(48, 2) }},
-		{"random33", func() (*graph.Graph, error) { return graph.RandomConnected(33, 66, 10) }},
-		{"ray4x4", func() (*graph.Graph, error) { return graph.Ray(4, 4, 9) }},
-	}
-	protocols := []struct {
-		name string
-		run  func(g *graph.Graph) (any, error)
-	}{
-		{"partition-det", func(g *graph.Graph) (any, error) {
-			f, met, info, err := partition.Deterministic(g, 1)
-			if err != nil {
-				return nil, err
-			}
-			return []any{f.Parent, f.ParentEdge, *met, info.Phases}, nil
-		}},
-		{"partition-rand", func(g *graph.Graph) (any, error) {
-			f, met, info, err := partition.Randomized(g, 1)
-			if err != nil {
-				return nil, err
-			}
-			return []any{f.Parent, f.ParentEdge, *met, info.Iterations}, nil
-		}},
-		{"mst", func(g *graph.Graph) (any, error) {
-			res, err := mst.Multimedia(g, 1)
-			if err != nil {
-				return nil, err
-			}
-			return []any{res.MST.EdgeIDs, res.MST.Total, res.Phases, res.Total}, nil
-		}},
-		{"sum", func(g *graph.Graph) (any, error) {
-			in := func(v graph.NodeID) int64 { return (int64(v)*97 + 5) % 1000 }
-			res, err := globalfunc.Multimedia(g, 1, globalfunc.Sum, in,
-				globalfunc.VariantDeterministic, globalfunc.StageCapetanakis)
-			if err != nil {
-				return nil, err
-			}
-			return []any{res.Value, res.Trees, res.Total}, nil
-		}},
-		{"count", func(g *graph.Graph) (any, error) {
-			res, err := size.Exact(g, 1, 0)
-			if err != nil {
-				return nil, err
-			}
-			return []any{res.N, res.Phases, res.Metrics}, nil
-		}},
-	}
-
-	for _, topo := range topologies {
-		for _, proto := range protocols {
+	for _, topo := range equivalenceTopologies {
+		for _, proto := range equivalenceProtocols {
 			t.Run(topo.name+"/"+proto.name, func(t *testing.T) {
 				g, err := topo.mk()
 				if err != nil {
@@ -101,6 +105,67 @@ func TestEngineEquivalence(t *testing.T) {
 				}
 				if !reflect.DeepEqual(want, got) {
 					t.Errorf("engines diverge:\n goroutine: %#v\n step:      %#v", want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineEquivalenceUnderFaults extends the determinism gate to fault
+// injection: under a nontrivial plan combining a crash, a jam window, and a
+// lossy link, every protocol must still produce a bit-identical transcript
+// on the goroutine engine and the step engine at several worker counts —
+// whether the faulted run completes or fails, the outcome (value or error)
+// must be identical.
+func TestEngineEquivalenceUnderFaults(t *testing.T) {
+	plan, err := fault.Parse("seed:5;crash:5@4;jam:2-3;drop:0@2-8/p0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		value any
+		err   string
+	}
+	capture := func(run func(g *graph.Graph) (any, error), g *graph.Graph) outcome {
+		v, err := run(g)
+		if err != nil {
+			return outcome{err: err.Error()}
+		}
+		return outcome{value: v}
+	}
+	oldPlan := sim.DefaultFaults
+	sim.DefaultFaults = plan
+	defer func() { sim.DefaultFaults = oldPlan }()
+	// Protocols wedged by the crash livelock until the round budget runs
+	// out; a tight budget keeps those cases cheap. Completing runs on these
+	// small graphs finish far below it.
+	oldMax := sim.DefaultMaxRounds
+	sim.DefaultMaxRounds = 2000
+	defer func() { sim.DefaultMaxRounds = oldMax }()
+
+	for _, topo := range equivalenceTopologies {
+		for _, proto := range equivalenceProtocols {
+			t.Run(topo.name+"/"+proto.name, func(t *testing.T) {
+				g, err := topo.mk()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want outcome
+				withEngine(t, sim.EngineGoroutine, func() {
+					want = capture(proto.run, g)
+				})
+				for _, workers := range []int{1, 4} {
+					var got outcome
+					oldW := sim.DefaultWorkers
+					sim.DefaultWorkers = workers
+					withEngine(t, sim.EngineStep, func() {
+						got = capture(proto.run, g)
+					})
+					sim.DefaultWorkers = oldW
+					if !reflect.DeepEqual(want, got) {
+						t.Errorf("faulted engines diverge (step workers=%d):\n goroutine: %#v\n step:      %#v",
+							workers, want, got)
+					}
 				}
 			})
 		}

@@ -1,0 +1,233 @@
+package fault
+
+// compile.go turns a declarative Plan into an Injector: the compiled,
+// read-only lookup structure the sim engines consult at their per-round
+// choke points. Compilation validates the plan against the concrete graph,
+// resolves CrashFrac rules into concrete (node, round) crashes, and indexes
+// message rules by edge. An Injector is immutable after Compile, so both
+// engines may query it from any number of workers without synchronization.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Fate is the injector's verdict on one message delivery.
+type Fate int
+
+// The message fates.
+const (
+	// Deliver leaves the message alone.
+	Deliver Fate = iota
+	// DropMsg destroys the message.
+	DropMsg
+	// DelayMsg defers the message by the returned lag.
+	DelayMsg
+	// DupMsg delivers the message now and again after the returned lag.
+	DupMsg
+)
+
+// mrule is one compiled message-fault rule.
+type mrule struct {
+	fate  Fate // DropMsg, DelayMsg, or DupMsg
+	index int  // rule index in the plan, salting the coin flips
+	from  int
+	until int
+	prob  float64
+	lag   int
+}
+
+// jrule is one compiled jam rule.
+type jrule struct {
+	index int
+	from  int
+	until int
+	prob  float64
+}
+
+// Injector is a compiled fault plan. The zero value and the nil Injector
+// inject nothing; engines may hold a nil *Injector for fault-free runs and
+// skip every hook.
+type Injector struct {
+	seed      int64
+	crashes   map[int][]graph.NodeID // observation round -> nodes crashing
+	edgeRules map[int][]mrule        // per-edge message rules, plan order
+	allRules  []mrule                // wildcard (AllEdges) message rules
+	jams      []jrule
+}
+
+// Compile validates the plan against g and builds its injector. A nil or
+// empty plan compiles to a nil injector and no error.
+func Compile(p *Plan, g *graph.Graph) (*Injector, error) {
+	if p.Empty() {
+		return nil, nil
+	}
+	if err := p.validate(g); err != nil {
+		return nil, err
+	}
+	inj := &Injector{seed: p.Seed}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		from, until := r.window()
+		switch r.Kind {
+		case Crash:
+			// /pP on a crash rule is a compile-time coin: the node either
+			// crashes at its round in every run of the plan, or never.
+			if p := r.prob(); p >= 1 || inj.roll(i, uint64(r.Node), 0xc4a5e, 0, p) {
+				inj.addCrash(r.Node, from)
+			}
+		case CrashFrac:
+			// Resolve the fraction into concrete crashes with a private RNG
+			// derived from (plan seed, rule index): the same plan picks the
+			// same victims and rounds on any engine, every stage of a
+			// multi-stage protocol, and any worker count.
+			n := g.N()
+			k := int(math.Ceil(r.Frac * float64(n)))
+			if k > n {
+				k = n
+			}
+			rng := rand.New(rand.NewSource(int64(mix64(uint64(p.Seed), uint64(i), 0x5eed))))
+			for _, v := range rng.Perm(n)[:k] {
+				inj.addCrash(graph.NodeID(v), from+rng.Intn(until-from+1))
+			}
+		case Drop, Delay, Dup:
+			m := mrule{index: i, from: from, until: until, prob: r.prob(), lag: r.lag()}
+			switch r.Kind {
+			case Drop:
+				m.fate = DropMsg
+			case Delay:
+				m.fate = DelayMsg
+			case Dup:
+				m.fate = DupMsg
+			}
+			if r.Edge == AllEdges {
+				inj.allRules = append(inj.allRules, m)
+			} else {
+				if inj.edgeRules == nil {
+					inj.edgeRules = make(map[int][]mrule)
+				}
+				inj.edgeRules[r.Edge] = append(inj.edgeRules[r.Edge], m)
+			}
+		case Jam:
+			inj.jams = append(inj.jams, jrule{index: i, from: from, until: until, prob: r.prob()})
+		}
+	}
+	for _, nodes := range inj.crashes {
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+	}
+	return inj, nil
+}
+
+func (inj *Injector) addCrash(v graph.NodeID, round int) {
+	if inj.crashes == nil {
+		inj.crashes = make(map[int][]graph.NodeID)
+	}
+	inj.crashes[round] = append(inj.crashes[round], v)
+}
+
+// CrashesAt returns the nodes crash-stopping at the given observation round
+// (ascending node order). Nil-safe.
+func (inj *Injector) CrashesAt(round int) []graph.NodeID {
+	if inj == nil {
+		return nil
+	}
+	return inj.crashes[round]
+}
+
+// HasCrashes reports whether any crash is scheduled. Nil-safe.
+func (inj *Injector) HasCrashes() bool { return inj != nil && len(inj.crashes) > 0 }
+
+// HasMsgFaults reports whether any message rule exists, letting engines
+// skip the per-message hook entirely on plans without link faults. Nil-safe.
+func (inj *Injector) HasMsgFaults() bool {
+	return inj != nil && (len(inj.edgeRules) > 0 || len(inj.allRules) > 0)
+}
+
+// MsgFate decides the fate of one message: the message crossing edgeID from
+// sender `from`, normally observed at deliverRound. Edge-specific rules are
+// evaluated before wildcard rules, each class in plan order; the first rule
+// whose window contains the round and whose coin fires decides. The
+// returned lag is meaningful for DelayMsg and DupMsg. Pure and safe for
+// concurrent use.
+func (inj *Injector) MsgFate(edgeID int, from graph.NodeID, deliverRound int) (Fate, int) {
+	if inj == nil {
+		return Deliver, 0
+	}
+	if rules, ok := inj.edgeRules[edgeID]; ok {
+		if f, lag, ok := inj.applyRules(rules, edgeID, from, deliverRound); ok {
+			return f, lag
+		}
+	}
+	if f, lag, ok := inj.applyRules(inj.allRules, edgeID, from, deliverRound); ok {
+		return f, lag
+	}
+	return Deliver, 0
+}
+
+func (inj *Injector) applyRules(rules []mrule, edgeID int, from graph.NodeID, round int) (Fate, int, bool) {
+	for i := range rules {
+		r := &rules[i]
+		if round < r.from || round > r.until {
+			continue
+		}
+		if r.prob < 1 && !inj.roll(r.index, uint64(edgeID), uint64(from), uint64(round), r.prob) {
+			continue
+		}
+		return r.fate, r.lag, true
+	}
+	return Deliver, 0, false
+}
+
+// Jammed reports whether the slot observed at the given round is jammed.
+// Nil-safe, pure, and safe for concurrent use.
+func (inj *Injector) Jammed(round int) bool {
+	if inj == nil {
+		return false
+	}
+	for i := range inj.jams {
+		j := &inj.jams[i]
+		if round < j.from || round > j.until {
+			continue
+		}
+		if j.prob >= 1 || inj.roll(j.index, 0x1a77, 0, uint64(round), j.prob) {
+			return true
+		}
+	}
+	return false
+}
+
+// roll is the deterministic coin: a splitmix64-style hash of (plan seed,
+// rule index, event identity) mapped to [0, 1) and compared to prob.
+func (inj *Injector) roll(index int, a, b, c uint64, prob float64) bool {
+	h := mix64(uint64(inj.seed), uint64(index), a)
+	h = mix64(h, b, c)
+	return float64(h>>11)/(1<<53) < prob
+}
+
+// mix64 combines three words with the splitmix64 finalizer.
+func mix64(a, b, c uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9 + c*0x94d049bb133111eb + 0x2545f4914f6cdd1d
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Describe summarizes the compiled schedule (for logs and -json output).
+func (inj *Injector) Describe() string {
+	if inj == nil {
+		return "none"
+	}
+	crashes := 0
+	for _, nodes := range inj.crashes {
+		crashes += len(nodes)
+	}
+	return fmt.Sprintf("crashes=%d edge-rules=%d wildcard-rules=%d jam-rules=%d",
+		crashes, len(inj.edgeRules), len(inj.allRules), len(inj.jams))
+}

@@ -1,0 +1,277 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.Ring(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"crash:7@10",
+		"crash:1@5/p0.5",
+		"drop:3@5-",
+		"drop:*@2-9/p0.25",
+		"delay:1@3-6/d2",
+		"dup:0@4",
+		"jam:4-12/p0.5",
+		"seed:42;crashfrac:0.1@1-20",
+		"crash:1@2;jam:3;drop:2@1-/p0.75",
+	}
+	for _, dsl := range cases {
+		p, err := Parse(dsl)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", dsl, err)
+		}
+		if got := p.String(); got != dsl {
+			t.Errorf("Parse(%q).String() = %q", dsl, got)
+		}
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", p.String(), err)
+		}
+		if p2.String() != p.String() {
+			t.Errorf("round trip unstable: %q vs %q", p.String(), p2.String())
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, s := range []string{"", "  ", ";;", " ; "} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+		if p != nil {
+			t.Errorf("Parse(%q) = %v, want nil plan", s, p)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"bogus:1@2",      // unknown kind
+		"crash:1",        // missing round
+		"crash:x@2",      // bad node
+		"crash:1@2-5",    // crash takes a single round
+		"drop:a@1",       // bad edge
+		"drop:1@x",       // bad round
+		"jam:1/q3",       // unknown option
+		"delay:1@2/dx",   // bad lag
+		"drop:1@2/pzero", // bad probability
+		"seed:abc",       // bad seed
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	g := testGraph(t) // n=10, m=10
+	for _, tc := range []struct {
+		rule Rule
+		want string
+	}{
+		{Rule{Kind: Crash, Node: 10, From: 1}, "outside graph"},
+		{Rule{Kind: Crash, Node: 3, From: 0}, "round window"},
+		{Rule{Kind: Drop, Edge: 10, From: 1}, "outside graph"},
+		{Rule{Kind: Drop, Edge: 1, From: 5, Until: 3}, "empty"},
+		{Rule{Kind: Jam, From: 1, Prob: 1.5}, "probability"},
+		{Rule{Kind: Delay, Edge: 1, From: 1, Lag: -2}, "lag"},
+		{Rule{Kind: CrashFrac, Frac: 1.5, From: 1}, "fraction"},
+		{Rule{Kind: CrashFrac, Frac: 0.5, From: 1, Until: Forever}, "bounded"},
+		{Rule{Kind: CrashFrac, Frac: 0.5, From: 1, Prob: 0.3}, "not allowed"},
+		{Rule{Kind: CrashFrac, Frac: 0.5, From: 1, Lag: 2}, "lag"},
+		{Rule{Kind: Crash, Node: 1, From: 1, Lag: 2}, "lag"},
+	} {
+		_, err := Compile((&Plan{}).Add(tc.rule), g)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Compile(%+v) err = %v, want mention of %q", tc.rule, err, tc.want)
+		}
+	}
+	if inj, err := Compile(nil, g); inj != nil || err != nil {
+		t.Errorf("Compile(nil) = %v, %v, want nil, nil", inj, err)
+	}
+}
+
+func TestMsgFateWindows(t *testing.T) {
+	g := testGraph(t)
+	inj, err := Compile((&Plan{}).Add(
+		Rule{Kind: Drop, Edge: 3, From: 5, Until: 8},
+		Rule{Kind: Delay, Edge: 4, From: 2, Lag: 3},
+	), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, want := range map[int]Fate{4: Deliver, 5: DropMsg, 8: DropMsg, 9: Deliver} {
+		if fate, _ := inj.MsgFate(3, 0, round); fate != want {
+			t.Errorf("edge 3 round %d: fate %v, want %v", round, fate, want)
+		}
+	}
+	if fate, lag := inj.MsgFate(4, 1, 2); fate != DelayMsg || lag != 3 {
+		t.Errorf("edge 4 round 2: (%v, %d), want (DelayMsg, 3)", fate, lag)
+	}
+	if fate, _ := inj.MsgFate(4, 1, 3); fate != Deliver {
+		t.Errorf("edge 4 round 3 (single-round window): not Deliver")
+	}
+	if fate, _ := inj.MsgFate(0, 0, 5); fate != Deliver {
+		t.Errorf("unfaulted edge affected")
+	}
+}
+
+func TestWildcardAndProbDeterminism(t *testing.T) {
+	g := testGraph(t)
+	mk := func() *Injector {
+		inj, err := Compile(&Plan{Seed: 7, Rules: []Rule{
+			{Kind: Drop, Edge: AllEdges, From: 1, Until: Forever, Prob: 0.5},
+		}}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	a, b := mk(), mk()
+	drops := 0
+	for edge := 0; edge < g.M(); edge++ {
+		for round := 1; round <= 50; round++ {
+			fa, _ := a.MsgFate(edge, graph.NodeID(edge), round)
+			fb, _ := b.MsgFate(edge, graph.NodeID(edge), round)
+			if fa != fb {
+				t.Fatalf("nondeterministic fate at edge %d round %d", edge, round)
+			}
+			if fa == DropMsg {
+				drops++
+			}
+		}
+	}
+	// 500 coin flips at p=0.5: expect a comfortable middle band.
+	if drops < 150 || drops > 350 {
+		t.Errorf("drops = %d of 500, want roughly half", drops)
+	}
+}
+
+func TestJammedWindows(t *testing.T) {
+	g := testGraph(t)
+	inj, err := Compile((&Plan{}).Add(Rule{Kind: Jam, From: 4, Until: 6}), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, want := range map[int]bool{3: false, 4: true, 6: true, 7: false} {
+		if got := inj.Jammed(round); got != want {
+			t.Errorf("Jammed(%d) = %v, want %v", round, got, want)
+		}
+	}
+	var nilInj *Injector
+	if nilInj.Jammed(4) || nilInj.HasMsgFaults() || nilInj.CrashesAt(4) != nil {
+		t.Errorf("nil injector injects")
+	}
+}
+
+func TestCrashFracCompile(t *testing.T) {
+	g := testGraph(t)
+	mk := func(seed int64) map[int][]graph.NodeID {
+		inj, err := Compile(&Plan{Seed: seed, Rules: []Rule{
+			{Kind: CrashFrac, Frac: 0.3, From: 2, Until: 5},
+		}}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[int][]graph.NodeID)
+		for r := 0; r <= 10; r++ {
+			if nodes := inj.CrashesAt(r); len(nodes) > 0 {
+				out[r] = nodes
+			}
+		}
+		return out
+	}
+	a, b := mk(3), mk(3)
+	total := 0
+	seen := map[graph.NodeID]bool{}
+	for r, nodes := range a {
+		if r < 2 || r > 5 {
+			t.Errorf("crash scheduled at round %d outside [2, 5]", r)
+		}
+		for _, v := range nodes {
+			if seen[v] {
+				t.Errorf("node %d crashes twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != 3 {
+		t.Errorf("crashed %d of 10 nodes at frac 0.3, want 3", total)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules")
+	}
+	for r := range a {
+		if len(a[r]) != len(b[r]) {
+			t.Fatalf("same seed, different schedule at round %d", r)
+		}
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("same seed, different victims at round %d", r)
+			}
+		}
+	}
+}
+
+// TestCrashProbCompile checks the compile-time coin on probabilistic crash
+// rules: the same plan always picks the same survivors, p=1 always crashes,
+// and intermediate probabilities thin the schedule.
+func TestCrashProbCompile(t *testing.T) {
+	g := testGraph(t)
+	count := func(seed int64, prob float64) int {
+		p := &Plan{Seed: seed}
+		for v := 0; v < g.N(); v++ {
+			p.Add(Rule{Kind: Crash, Node: graph.NodeID(v), From: 1, Prob: prob})
+		}
+		inj, err := Compile(p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(inj.CrashesAt(1))
+	}
+	if got := count(1, 1); got != 10 {
+		t.Errorf("p=1 crashed %d of 10", got)
+	}
+	got := count(1, 0.5)
+	if got == 0 || got == 10 {
+		t.Errorf("p=0.5 crashed %d of 10, want a proper subset", got)
+	}
+	if again := count(1, 0.5); again != got {
+		t.Errorf("same seed, different crash count: %d vs %d", got, again)
+	}
+}
+
+func TestFromFlags(t *testing.T) {
+	p, err := FromFlags("", 0, 0, 1)
+	if err != nil || p != nil {
+		t.Errorf("FromFlags all-empty = %v, %v, want nil, nil", p, err)
+	}
+	p, err = FromFlags("drop:1@2", 0.1, 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3 (dsl + crash + jam)", len(p.Rules))
+	}
+	if p.Rules[1].Kind != CrashFrac || p.Rules[1].Frac != 0.1 {
+		t.Errorf("crash rule = %+v", p.Rules[1])
+	}
+	if p.Rules[2].Kind != Jam || p.Rules[2].Prob != 0.25 || p.Rules[2].Until != Forever {
+		t.Errorf("jam rule = %+v", p.Rules[2])
+	}
+}

@@ -1,0 +1,160 @@
+package fault
+
+// parse.go implements the compact fault-plan DSL used by the -faults flags:
+//
+//	plan    = item *( ";" item )            (whitespace around items is ok)
+//	item    = "seed:" INT
+//	        | "crash:" NODE "@" ROUND
+//	        | "crashfrac:" FRAC "@" window
+//	        | "drop:"  edge "@" window opts
+//	        | "delay:" edge "@" window opts
+//	        | "dup:"   edge "@" window opts
+//	        | "jam:" window opts
+//	edge    = INT | "*"                     ("*" = every edge)
+//	window  = FROM | FROM "-" | FROM "-" UNTIL
+//	opts    = *( "/d" INT | "/p" FLOAT )    (delay lag, firing probability)
+//
+// Examples:
+//
+//	crash:7@10                  node 7 stops before observing round 10
+//	drop:3@5-                   edge 3 is down from round 5 on
+//	delay:*@1-/d2/p0.1          10% of all messages arrive 2 rounds late
+//	jam:4-12/p0.5               rounds 4..12: slots jammed with rate 1/2
+//	seed:42;crashfrac:0.1@1-20  10% of nodes crash during rounds 1..20
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Parse builds a Plan from the DSL. An empty (or all-whitespace) string
+// yields a nil plan: no faults.
+func Parse(s string) (*Plan, error) {
+	p := &Plan{}
+	for _, item := range strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == ' ' || r == '\t' || r == '\n' }) {
+		if err := parseItem(p, item); err != nil {
+			return nil, fmt.Errorf("fault: parse %q: %w", item, err)
+		}
+	}
+	if p.Empty() {
+		return nil, nil
+	}
+	return p, nil
+}
+
+func parseItem(p *Plan, item string) error {
+	kind, rest, ok := strings.Cut(item, ":")
+	if !ok {
+		return fmt.Errorf("want kind:spec")
+	}
+	if kind == "seed" {
+		seed, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed: %v", err)
+		}
+		p.Seed = seed
+		return nil
+	}
+
+	spec := rest
+	var opts []string
+	if head, tail, ok := strings.Cut(rest, "/"); ok {
+		spec, opts = head, strings.Split(tail, "/")
+	}
+	r := Rule{}
+	switch kind {
+	case "crash":
+		r.Kind = Crash
+	case "crashfrac":
+		r.Kind = CrashFrac
+	case "drop":
+		r.Kind = Drop
+	case "delay":
+		r.Kind = Delay
+	case "dup":
+		r.Kind = Dup
+	case "jam":
+		r.Kind = Jam
+	default:
+		return fmt.Errorf("unknown fault kind %q", kind)
+	}
+
+	window := spec
+	if r.Kind != Jam {
+		target, w, ok := strings.Cut(spec, "@")
+		if !ok {
+			return fmt.Errorf("want target@rounds")
+		}
+		window = w
+		switch r.Kind {
+		case Crash:
+			node, err := strconv.Atoi(target)
+			if err != nil {
+				return fmt.Errorf("bad node %q", target)
+			}
+			r.Node = graph.NodeID(node)
+		case CrashFrac:
+			frac, err := strconv.ParseFloat(target, 64)
+			if err != nil {
+				return fmt.Errorf("bad fraction %q", target)
+			}
+			r.Frac = frac
+		default: // Drop, Delay, Dup
+			if target == "*" {
+				r.Edge = AllEdges
+			} else {
+				edge, err := strconv.Atoi(target)
+				if err != nil {
+					return fmt.Errorf("bad edge %q", target)
+				}
+				r.Edge = edge
+			}
+		}
+	}
+	var err error
+	if r.From, r.Until, err = parseWindow(window); err != nil {
+		return err
+	}
+	if r.Kind == Crash && r.Until != 0 {
+		return fmt.Errorf("crash takes a single round, not a window")
+	}
+	for _, o := range opts {
+		switch {
+		case strings.HasPrefix(o, "d"):
+			if r.Lag, err = strconv.Atoi(o[1:]); err != nil {
+				return fmt.Errorf("bad lag %q", o)
+			}
+		case strings.HasPrefix(o, "p"):
+			if r.Prob, err = strconv.ParseFloat(o[1:], 64); err != nil {
+				return fmt.Errorf("bad probability %q", o)
+			}
+		default:
+			return fmt.Errorf("unknown option %q (want /dN or /pF)", o)
+		}
+	}
+	p.Rules = append(p.Rules, r)
+	return nil
+}
+
+// parseWindow parses FROM, FROM-, or FROM-UNTIL. A bare FROM leaves Until 0
+// (normalized to the single round FROM).
+func parseWindow(w string) (from, until int, err error) {
+	fromStr, untilStr, dashed := strings.Cut(w, "-")
+	if from, err = strconv.Atoi(fromStr); err != nil {
+		return 0, 0, fmt.Errorf("bad round %q", fromStr)
+	}
+	switch {
+	case !dashed:
+		return from, 0, nil
+	case untilStr == "":
+		return from, Forever, nil
+	default:
+		if until, err = strconv.Atoi(untilStr); err != nil {
+			return 0, 0, fmt.Errorf("bad round %q", untilStr)
+		}
+		return from, until, nil
+	}
+}

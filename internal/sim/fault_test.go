@@ -1,0 +1,353 @@
+package sim
+
+// fault_test.go verifies the fault-injection semantics of both engines: the
+// crash-stop boundary, drop/delay/duplicate message fates, channel jamming,
+// and the extension of the determinism contract to faulted runs (identical
+// transcripts on the goroutine engine and the step engine at any worker
+// count).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// faultEngines runs the program on the goroutine engine and on the step
+// engine with 1 and 4 workers, asserts the three transcripts are identical,
+// and returns the common result.
+func faultEngines(t *testing.T, g *graph.Graph, program Program, opts ...Option) *Result {
+	t.Helper()
+	type run struct {
+		name string
+		opt  []Option
+	}
+	runs := []run{
+		{"goroutine", []Option{WithEngine(EngineGoroutine)}},
+		{"step-w1", []Option{WithEngine(EngineStep), WithWorkers(1)}},
+		{"step-w4", []Option{WithEngine(EngineStep), WithWorkers(4)}},
+	}
+	var ref *Result
+	for _, r := range runs {
+		res, err := Run(g, program, append(append([]Option{}, opts...), r.opt...)...)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref.Results, res.Results) {
+			t.Fatalf("%s results diverge:\n ref: %#v\n got: %#v", r.name, ref.Results, res.Results)
+		}
+		if ref.Metrics != res.Metrics {
+			t.Fatalf("%s metrics diverge:\n ref: %+v\n got: %+v", r.name, ref.Metrics, res.Metrics)
+		}
+	}
+	return ref
+}
+
+// TestFaultCrashStop checks the crash boundary: the victim's sends from its
+// last completed round are delivered, nothing later; messages addressed to
+// it after the crash are dropped as to a halted node.
+func TestFaultCrashStop(t *testing.T) {
+	g, err := graph.Path(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("crash:2@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(c *Ctx) error {
+		var got []int
+		for r := 1; r <= 8; r++ {
+			switch c.ID() {
+			case 2:
+				c.SendTo(1, c.Round())
+			case 1:
+				c.SendTo(2, c.Round())
+			}
+			in := c.Tick()
+			for _, m := range in.Msgs {
+				if m.From == 2 {
+					got = append(got, m.Payload.(int))
+				}
+			}
+		}
+		if c.ID() == 1 {
+			c.SetResult(got)
+		}
+		return nil
+	}
+	res := faultEngines(t, g, prog, WithSeed(1), WithFaults(plan))
+	// Node 2's last compute round is 4: values 0..4 arrive at node 1.
+	if want := []int{0, 1, 2, 3, 4}; !reflect.DeepEqual(res.Results[1], want) {
+		t.Errorf("node 1 received %v, want %v", res.Results[1], want)
+	}
+	if res.Metrics.Crashed != 1 {
+		t.Errorf("Crashed = %d, want 1", res.Metrics.Crashed)
+	}
+	// Node 1's sends of rounds 4..7 arrive at rounds 5..8, after the crash.
+	if res.Metrics.DroppedHalted != 4 {
+		t.Errorf("DroppedHalted = %d, want 4", res.Metrics.DroppedHalted)
+	}
+}
+
+// TestFaultLinkDrop checks a finite drop window on one edge.
+func TestFaultLinkDrop(t *testing.T) {
+	g, err := graph.Path(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("drop:0@3-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(c *Ctx) error {
+		var got []int
+		for r := 1; r <= 8; r++ {
+			if c.ID() == 0 {
+				c.SendTo(1, c.Round())
+			}
+			in := c.Tick()
+			for _, m := range in.Msgs {
+				got = append(got, m.Payload.(int))
+			}
+		}
+		if c.ID() == 1 {
+			c.SetResult(got)
+		}
+		return nil
+	}
+	res := faultEngines(t, g, prog, WithSeed(1), WithFaults(plan))
+	// Values 2, 3, 4 would arrive at rounds 3, 4, 5 — the drop window.
+	if want := []int{0, 1, 5, 6, 7}; !reflect.DeepEqual(res.Results[1], want) {
+		t.Errorf("node 1 received %v, want %v", res.Results[1], want)
+	}
+	if res.Metrics.DroppedFault != 3 {
+		t.Errorf("DroppedFault = %d, want 3", res.Metrics.DroppedFault)
+	}
+	if res.Metrics.Messages != 8 {
+		t.Errorf("Messages = %d, want 8 (drops still count as sent)", res.Metrics.Messages)
+	}
+}
+
+// TestFaultDelayAndDup checks delayed and duplicated deliveries.
+func TestFaultDelayAndDup(t *testing.T) {
+	g, err := graph.Path(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("delay:0@1/d3;dup:0@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(c *Ctx) error {
+		var got []string
+		for r := 1; r <= 8; r++ {
+			if c.ID() == 0 && c.Round() < 2 {
+				c.SendTo(1, fmt.Sprintf("m%d", c.Round()))
+			}
+			in := c.Tick()
+			for _, m := range in.Msgs {
+				got = append(got, fmt.Sprintf("%s@%d", m.Payload, in.Round))
+			}
+		}
+		if c.ID() == 1 {
+			c.SetResult(got)
+		}
+		return nil
+	}
+	res := faultEngines(t, g, prog, WithSeed(1), WithFaults(plan))
+	// m0 (normal arrival 1) is delayed 3 rounds to 4; m1 (arrival 2) is
+	// duplicated: delivered at 2 and again at 3.
+	if want := []string{"m1@2", "m1@3", "m0@4"}; !reflect.DeepEqual(res.Results[1], want) {
+		t.Errorf("node 1 received %v, want %v", res.Results[1], want)
+	}
+	if res.Metrics.Delayed != 1 || res.Metrics.Duplicated != 1 {
+		t.Errorf("Delayed, Duplicated = %d, %d, want 1, 1",
+			res.Metrics.Delayed, res.Metrics.Duplicated)
+	}
+}
+
+// TestFaultJam checks that a jammed slot presents as a collision to every
+// node, hiding a lone writer.
+func TestFaultJam(t *testing.T) {
+	g, err := graph.Path(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("jam:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(c *Ctx) error {
+		var states []SlotState
+		for r := 1; r <= 5; r++ {
+			if c.ID() == 0 {
+				c.Broadcast("x")
+			}
+			in := c.Tick()
+			states = append(states, in.Slot.State)
+		}
+		c.SetResult(states)
+		return nil
+	}
+	res := faultEngines(t, g, prog, WithSeed(1), WithFaults(plan))
+	want := []SlotState{SlotSuccess, SlotSuccess, SlotCollision, SlotSuccess, SlotSuccess}
+	for v, r := range res.Results {
+		if !reflect.DeepEqual(r, want) {
+			t.Errorf("node %d observed %v, want %v", v, r, want)
+		}
+	}
+	if res.Metrics.SlotsJammed != 1 || res.Metrics.SlotsSuccess != 4 {
+		t.Errorf("SlotsJammed, SlotsSuccess = %d, %d, want 1, 4",
+			res.Metrics.SlotsJammed, res.Metrics.SlotsSuccess)
+	}
+}
+
+// TestFaultDefaultFaults checks that the process-wide default plan applies
+// when no WithFaults option is given and that WithFaults(nil) overrides it.
+func TestFaultDefaultFaults(t *testing.T) {
+	g, err := graph.Path(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("drop:0@1-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(c *Ctx) error {
+		c.SendTo(1-c.ID(), "hi")
+		in := c.Tick()
+		c.SetResult(len(in.Msgs))
+		return nil
+	}
+	old := DefaultFaults
+	DefaultFaults = plan
+	defer func() { DefaultFaults = old }()
+
+	res, err := Run(g, prog, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0] != 0 || res.Results[1] != 0 || res.Metrics.DroppedFault != 2 {
+		t.Errorf("default plan not applied: %v, %+v", res.Results, res.Metrics)
+	}
+	res, err = Run(g, prog, WithSeed(1), WithFaults(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0] != 1 || res.Results[1] != 1 || res.Metrics.DroppedFault != 0 {
+		t.Errorf("WithFaults(nil) did not override the default: %v, %+v", res.Results, res.Metrics)
+	}
+}
+
+// TestFaultNativeSleepDelay checks the step engine's pending-message path
+// against sleeping machines: with every live node asleep and a delayed
+// message in flight, the engine must keep ticking (not declare quiescence)
+// and wake the recipient at the fault-assigned round.
+func TestFaultNativeSleepDelay(t *testing.T) {
+	g, err := graph.Path(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("delay:0@1/d2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2} {
+		prog := func(c *StepCtx) Machine {
+			return &sleepDelayMachine{c: c}
+		}
+		res, err := RunStep(g, prog, WithSeed(1), WithWorkers(workers), WithFaults(plan))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Normal arrival round 1, delayed 2 rounds to 3.
+		if res.Results[1] != 3 {
+			t.Errorf("workers=%d: woke at round %v, want 3", workers, res.Results[1])
+		}
+		if res.Metrics.Delayed != 1 {
+			t.Errorf("workers=%d: Delayed = %d, want 1", workers, res.Metrics.Delayed)
+		}
+	}
+}
+
+type sleepDelayMachine struct {
+	c    *StepCtx
+	woke int
+}
+
+func (m *sleepDelayMachine) Step(in Input) bool {
+	if in.Round == 0 {
+		if m.c.ID() == 0 {
+			m.c.SendTo(1, "ping")
+			return true
+		}
+		m.c.Sleep()
+		return false
+	}
+	if len(in.Msgs) > 0 {
+		m.woke = in.Round
+		return true
+	}
+	m.c.Sleep()
+	return false
+}
+
+func (m *sleepDelayMachine) Result() any { return m.woke }
+
+// TestFaultStressEquivalence is the fault determinism gate at the sim
+// level: a randomized program under a plan combining every fault kind must
+// produce identical transcripts on both engines at any worker count.
+func TestFaultStressEquivalence(t *testing.T) {
+	g, err := graph.RandomConnected(20, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse(
+		"seed:11;crash:3@4;crash:7@6;drop:2@2-6;delay:*@1-/d2/p0.15;dup:1@3-9/p0.5;jam:2-4/p0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(c *Ctx) error {
+		sum := uint64(0)
+		mix := func(vals ...uint64) {
+			for _, v := range vals {
+				sum = sum*0x100000001b3 + v
+			}
+		}
+		for r := 1; r <= 12; r++ {
+			for l := 0; l < c.Degree(); l++ {
+				if c.Rand().Intn(3) == 0 {
+					c.Send(l, int(c.Rand().Intn(1000)))
+				}
+			}
+			if c.Rand().Intn(5) == 0 {
+				c.Broadcast(int(c.ID())*100 + c.Round())
+			}
+			in := c.Tick()
+			mix(uint64(in.Round), uint64(in.Slot.State), uint64(in.Slot.From))
+			if p, ok := in.Slot.Payload.(int); ok {
+				mix(uint64(p))
+			}
+			for _, m := range in.Msgs {
+				mix(uint64(m.From), uint64(m.EdgeID), uint64(m.Payload.(int)))
+			}
+		}
+		c.SetResult(sum)
+		return nil
+	}
+	res := faultEngines(t, g, prog, WithSeed(9), WithFaults(plan))
+	if res.Metrics.Crashed != 2 {
+		t.Errorf("Crashed = %d, want 2", res.Metrics.Crashed)
+	}
+	if res.Metrics.SlotsJammed == 0 || res.Metrics.Delayed == 0 ||
+		res.Metrics.Duplicated == 0 || res.Metrics.DroppedFault == 0 {
+		t.Errorf("plan did not exercise every fault kind: %+v", res.Metrics)
+	}
+}

@@ -44,15 +44,26 @@
 // regardless of the engine chosen, the worker count, and goroutine or
 // worker scheduling. Inboxes are always delivered sorted by (sender id,
 // edge id).
+//
+// # Fault injection
+//
+// Both engines apply an optional fault plan (WithFaults, or the
+// process-wide DefaultFaults) at their delivery and slot-resolution choke
+// points: crash-stopped nodes, dropped/delayed/duplicated messages, and
+// jammed channel slots, as compiled by internal/fault. The determinism
+// contract extends to faults — a fixed (graph, program, seed, plan) yields
+// a bit-identical transcript on either engine at any worker count.
 package sim
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -114,7 +125,8 @@ type Input struct {
 	Slot  Slot
 }
 
-// Metrics aggregates the paper's complexity measures over one run.
+// Metrics aggregates the paper's complexity measures over one run, plus the
+// fault-injection counters (zero unless the run had a fault plan).
 type Metrics struct {
 	Rounds         int   // time complexity: number of rounds executed
 	Messages       int64 // point-to-point message complexity
@@ -122,6 +134,12 @@ type Metrics struct {
 	SlotsSuccess   int64
 	SlotsCollision int64
 	DroppedHalted  int64 // messages addressed to already-halted nodes
+
+	Crashed      int64 // nodes crash-stopped by fault injection
+	DroppedFault int64 // messages destroyed by link faults
+	Delayed      int64 // messages deferred by delay faults
+	Duplicated   int64 // extra message copies scheduled by duplicate faults
+	SlotsJammed  int64 // slots forced to collision by channel jamming
 }
 
 // Slots returns the total number of channel slots with at least one writer.
@@ -139,6 +157,35 @@ func (m *Metrics) Add(other *Metrics) {
 	m.SlotsSuccess += other.SlotsSuccess
 	m.SlotsCollision += other.SlotsCollision
 	m.DroppedHalted += other.DroppedHalted
+	m.Crashed += other.Crashed
+	m.DroppedFault += other.DroppedFault
+	m.Delayed += other.Delayed
+	m.Duplicated += other.Duplicated
+	m.SlotsJammed += other.SlotsJammed
+}
+
+// MarshalJSON renders the metrics as a flat snake_case object including the
+// derived totals, the machine-readable form emitted by mmnet -json.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Rounds         int   `json:"rounds"`
+		Messages       int64 `json:"messages"`
+		SlotsIdle      int64 `json:"slots_idle"`
+		SlotsSuccess   int64 `json:"slots_success"`
+		SlotsCollision int64 `json:"slots_collision"`
+		SlotsJammed    int64 `json:"slots_jammed"`
+		Slots          int64 `json:"slots"`
+		Communication  int64 `json:"communication"`
+		DroppedHalted  int64 `json:"dropped_halted"`
+		Crashed        int64 `json:"crashed"`
+		DroppedFault   int64 `json:"dropped_fault"`
+		Delayed        int64 `json:"delayed"`
+		Duplicated     int64 `json:"duplicated"`
+	}{
+		m.Rounds, m.Messages, m.SlotsIdle, m.SlotsSuccess, m.SlotsCollision,
+		m.SlotsJammed, m.Slots(), m.Communication(), m.DroppedHalted,
+		m.Crashed, m.DroppedFault, m.Delayed, m.Duplicated,
+	})
 }
 
 // Program is the code run by every node. It must communicate only through
@@ -159,6 +206,17 @@ type config struct {
 	maxRounds int
 	engine    Engine
 	workers   int
+	faults    *fault.Plan
+	faultsSet bool
+}
+
+// plan resolves the run's fault plan: the WithFaults option when given,
+// DefaultFaults otherwise. A nil plan means a fault-free run.
+func (c *config) plan() *fault.Plan {
+	if c.faultsSet {
+		return c.faults
+	}
+	return DefaultFaults
 }
 
 // Option configures a run.
@@ -171,6 +229,24 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // WithMaxRounds overrides the default round budget (a deadlock guard).
 func WithMaxRounds(r int) Option { return func(c *config) { c.maxRounds = r } }
 
+// DefaultMaxRounds, when positive, replaces the graph-derived round budget
+// of every run that does not pass WithMaxRounds. Chaos experiments set it to
+// bound the cost of wedged (livelocked) faulted runs; 0 keeps the generous
+// per-graph default.
+var DefaultMaxRounds int
+
+// resolveMaxRounds fills the config's round budget after options applied.
+func (c *config) resolveMaxRounds(g *graph.Graph) {
+	if c.maxRounds > 0 {
+		return
+	}
+	if DefaultMaxRounds > 0 {
+		c.maxRounds = DefaultMaxRounds
+		return
+	}
+	c.maxRounds = defaultMaxRounds(g)
+}
+
 // WithEngine selects the execution model for this run; without it Run uses
 // DefaultEngine. RunStep ignores it (it is always the step engine).
 func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
@@ -180,6 +256,22 @@ func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 // By the determinism contract the worker count never changes a run's
 // transcript, only its wall-clock time.
 func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// DefaultFaults is the fault plan a run uses when no WithFaults option is
+// given; nil (the default) means fault-free. Commands set it from their
+// -faults/-crash/-jam flags so every sim.Run a protocol performs — including
+// the inner runs of multi-stage algorithms — executes under the plan, with
+// each run's fault rounds counted from its own round 0.
+var DefaultFaults *fault.Plan
+
+// WithFaults runs the simulation under the given fault plan (nil for an
+// explicitly fault-free run, overriding DefaultFaults). The plan is compiled
+// against the run's graph; the determinism contract extends to faults: a
+// fixed (graph, program, seed, plan) yields a bit-identical transcript on
+// both engines and any worker count.
+func WithFaults(p *fault.Plan) Option {
+	return func(c *config) { c.faults = p; c.faultsSet = true }
+}
 
 type outMsg struct {
 	edgeID  int
@@ -340,10 +432,11 @@ func newCtx(g *graph.Graph, id graph.NodeID, seed int64) *Ctx {
 // chosen with WithEngine (DefaultEngine otherwise); both engines produce
 // identical results and metrics for the same seed.
 func Run(g *graph.Graph, program Program, opts ...Option) (*Result, error) {
-	cfg := config{seed: 1, maxRounds: defaultMaxRounds(g)}
+	cfg := config{seed: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.resolveMaxRounds(g)
 	engine := cfg.engine
 	if engine == 0 {
 		engine = DefaultEngine
@@ -358,9 +451,20 @@ func Run(g *graph.Graph, program Program, opts ...Option) (*Result, error) {
 	}
 }
 
+// pendingMsg is one delayed or duplicated message held by the goroutine
+// engine until its fault-assigned delivery round.
+type pendingMsg struct {
+	to  graph.NodeID
+	msg Message
+}
+
 // runGoroutine is the historical engine: one goroutine per node, resumed
 // round by round from a single scheduler loop.
 func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) {
+	inj, err := fault.Compile(cfg.plan(), g)
+	if err != nil {
+		return nil, err
+	}
 	n := g.N()
 	ctxs := make([]*Ctx, n)
 	for v := 0; v < n; v++ {
@@ -404,6 +508,7 @@ func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) 
 	res := &Result{Results: make([]any, n)}
 	met := &res.Metrics
 	inboxes := make([][]Message, n)
+	var pending map[int][]pendingMsg // delayed messages by delivery round
 	alive := make([]bool, n)
 	for v := range alive {
 		alive[v] = true
@@ -435,25 +540,57 @@ func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) 
 			}
 		}
 		slot := Slot{State: SlotIdle}
-		switch {
-		case writers == 0:
-			met.SlotsIdle++
-		case writers == 1:
-			met.SlotsSuccess++
-			slot = Slot{State: SlotSuccess, From: writer.id, Payload: writer.chWrite}
-		default:
-			met.SlotsCollision++
+		if inj.Jammed(round + 1) {
+			// A jammed slot hides any writer behind a forced collision.
+			met.SlotsJammed++
 			slot = Slot{State: SlotCollision}
+		} else {
+			switch {
+			case writers == 0:
+				met.SlotsIdle++
+			case writers == 1:
+				met.SlotsSuccess++
+				slot = Slot{State: SlotSuccess, From: writer.id, Payload: writer.chWrite}
+			default:
+				met.SlotsCollision++
+				slot = Slot{State: SlotCollision}
+			}
 		}
 
-		// Deliver point-to-point messages.
+		// Deliver point-to-point messages: delayed ones due this round
+		// first, then this round's sends, each through the fault hook.
 		for i := range inboxes {
 			inboxes[i] = nil
 		}
+		if late := pending[round+1]; len(late) > 0 {
+			delete(pending, round+1)
+			for _, pm := range late {
+				inboxes[pm.to] = append(inboxes[pm.to], pm.msg)
+			}
+		}
+		msgFaults := inj.HasMsgFaults()
 		for _, ctx := range ctxs {
 			for _, m := range ctx.out {
 				met.Messages++
-				inboxes[m.to] = append(inboxes[m.to], Message{From: ctx.id, EdgeID: m.edgeID, Payload: m.payload})
+				msg := Message{From: ctx.id, EdgeID: m.edgeID, Payload: m.payload}
+				if msgFaults {
+					switch fate, lag := inj.MsgFate(m.edgeID, ctx.id, round+1); fate {
+					case fault.DropMsg:
+						met.DroppedFault++
+						continue
+					case fault.DelayMsg, fault.DupMsg:
+						if pending == nil {
+							pending = make(map[int][]pendingMsg)
+						}
+						pending[round+1+lag] = append(pending[round+1+lag], pendingMsg{to: m.to, msg: msg})
+						if fate == fault.DelayMsg {
+							met.Delayed++
+							continue
+						}
+						met.Duplicated++
+					}
+				}
+				inboxes[m.to] = append(inboxes[m.to], msg)
 			}
 			// Reset per-round node state. Safe: live nodes are blocked in
 			// Tick; halted nodes have returned.
@@ -470,6 +607,20 @@ func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) 
 				}
 				return box[a].EdgeID < box[b].EdgeID
 			})
+		}
+
+		// Crash-stop the nodes scheduled to fail before observing round+1:
+		// unwind the goroutine exactly as an abort does, without recording
+		// an error. Messages addressed to them join the halted-drop count.
+		for _, v := range inj.CrashesAt(round + 1) {
+			if !alive[v] {
+				continue
+			}
+			close(ctxs[v].resume)
+			<-ctxs[v].done
+			alive[v] = false
+			aliveCount--
+			met.Crashed++
 		}
 
 		if aliveCount == 0 {
@@ -513,7 +664,7 @@ func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) 
 		res.Results[v] = ctx.result
 	}
 	errMu.Lock()
-	err := firstErr
+	err = firstErr
 	errMu.Unlock()
 	if err != nil {
 		return nil, err

@@ -35,6 +35,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -278,12 +279,21 @@ type stepShard struct {
 	out     [][]delivered // staged messages, bucketed by destination shard
 	touched []int32       // nodes that received mail this round (sort + reuse)
 
+	// Delayed and duplicated messages addressed to this shard, held until
+	// their fault-assigned delivery round. Shard-local, so the delivery
+	// phase mutates it without locks.
+	pending  map[int][]delivered
+	pendingN int
+
 	writers       int
 	writerID      graph.NodeID
 	writerPayload Payload
 	halts         int
 	msgs          int64
 	dropped       int64
+	faultDrops    int64
+	delayed       int64
+	duped         int64
 
 	cur graph.NodeID // node being stepped, for panic attribution
 }
@@ -299,7 +309,8 @@ const (
 type stepEngine struct {
 	g     *graph.Graph
 	cfg   config
-	reuse bool // reuse inbox buffers (native runs; the adapter reallocates)
+	inj   *fault.Injector // nil for fault-free runs
+	reuse bool            // reuse inbox buffers (native runs; the adapter reallocates)
 
 	nodes []StepCtx
 	inbox [][]Message
@@ -329,14 +340,19 @@ type stepEngine struct {
 // returns aggregate metrics and per-node results — the native entry point
 // of the step engine. Options are shared with Run; WithEngine is ignored.
 func RunStep(g *graph.Graph, program StepProgram, opts ...Option) (*Result, error) {
-	cfg := config{seed: 1, maxRounds: defaultMaxRounds(g)}
+	cfg := config{seed: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.resolveMaxRounds(g)
 	return runStepEngine(g, program, cfg, true)
 }
 
 func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes bool) (res *Result, err error) {
+	inj, err := fault.Compile(cfg.plan(), g)
+	if err != nil {
+		return nil, err
+	}
 	n := g.N()
 	workers := cfg.workers
 	if workers <= 0 {
@@ -355,6 +371,7 @@ func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes
 	e := &stepEngine{
 		g:         g,
 		cfg:       cfg,
+		inj:       inj,
 		reuse:     reuseInboxes,
 		nodes:     make([]StepCtx, n),
 		inbox:     make([][]Message, n),
@@ -449,17 +466,40 @@ func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes
 			e.alive -= s.halts
 		}
 		slot := Slot{State: SlotIdle}
-		switch {
-		case writers == 0:
-			e.met.SlotsIdle++
-		case writers == 1:
-			e.met.SlotsSuccess++
-			slot = Slot{State: SlotSuccess, From: wid, Payload: wpayload}
-		default:
-			e.met.SlotsCollision++
+		if e.inj.Jammed(round + 1) {
+			// A jammed slot hides any writer behind a forced collision.
+			e.met.SlotsJammed++
 			slot = Slot{State: SlotCollision}
+		} else {
+			switch {
+			case writers == 0:
+				e.met.SlotsIdle++
+			case writers == 1:
+				e.met.SlotsSuccess++
+				slot = Slot{State: SlotSuccess, From: wid, Payload: wpayload}
+			default:
+				e.met.SlotsCollision++
+				slot = Slot{State: SlotCollision}
+			}
 		}
 		e.slot = slot
+
+		// Crash-stop the nodes scheduled to fail before observing round+1.
+		// Their round-round sends (staged above) are still delivered;
+		// messages addressed to them join the halted-drop count.
+		for _, v := range e.inj.CrashesAt(round + 1) {
+			sc := &e.nodes[v]
+			if sc.halted {
+				continue
+			}
+			if ab, ok := sc.machine.(aborter); ok {
+				ab.abortRun()
+			}
+			sc.halted = true
+			sc.result = sc.machine.Result()
+			e.alive--
+			e.met.Crashed++
+		}
 
 		failed := e.err() != nil
 		if e.alive > 0 && !failed && round+1 > e.cfg.maxRounds {
@@ -471,22 +511,29 @@ func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes
 		// Delivery stats accrue in destination shards; zero them all first
 		// since only shards with pending buckets are necessarily drained.
 		for i := range e.shards {
-			e.shards[i].msgs, e.shards[i].dropped = 0, 0
+			s := &e.shards[i]
+			s.msgs, s.dropped, s.faultDrops, s.delayed, s.duped = 0, 0, 0, 0, 0
 		}
 		e.runPhase(phaseDeliver, stepped, awakeTotal)
 		for i := range e.shards {
-			e.met.Messages += e.shards[i].msgs
-			e.met.DroppedHalted += e.shards[i].dropped
+			s := &e.shards[i]
+			e.met.Messages += s.msgs
+			e.met.DroppedHalted += s.dropped
+			e.met.DroppedFault += s.faultDrops
+			e.met.Delayed += s.delayed
+			e.met.Duplicated += s.duped
 		}
 
 		if !e.continuing {
 			break
 		}
 		awakeTotal = 0
+		pendingTotal := 0
 		for i := range e.shards {
 			awakeTotal += len(e.shards[i].awake)
+			pendingTotal += e.shards[i].pendingN
 		}
-		if awakeTotal == 0 {
+		if awakeTotal == 0 && pendingTotal == 0 {
 			e.recordErr(fmt.Errorf("sim: quiescent network: %d live nodes all asleep with no message in flight", e.alive))
 			break
 		}
@@ -513,13 +560,20 @@ func (e *stepEngine) runPhase(phase int8, stepped []int, awakeTotal int) {
 				e.stepShard(&e.shards[si])
 			}
 		case phaseDeliver:
-			// Only destination shards with pending buckets need draining.
+			// Only destination shards with fresh buckets or delayed
+			// messages due this round need draining.
 			for d := range e.shards {
+				need := e.shards[d].pendingN > 0 && len(e.shards[d].pending[e.round+1]) > 0
 				for _, si := range stepped {
-					if len(e.shards[si].out[d]) > 0 {
-						e.deliverShard(d)
+					if need {
 						break
 					}
+					if len(e.shards[si].out[d]) > 0 {
+						need = true
+					}
+				}
+				if need {
+					e.deliverShard(d)
 				}
 			}
 		}
@@ -577,6 +631,10 @@ func (e *stepEngine) stepShard(s *stepShard) {
 	round, slot := e.round, e.slot
 	for _, v := range s.awake {
 		sc := &e.nodes[v]
+		if sc.halted {
+			// Crash-stopped between being scheduled and this round.
+			continue
+		}
 		s.cur = sc.id
 		sc.scheduled = false
 		sc.asleep = false
@@ -619,10 +677,11 @@ func (e *stepEngine) stepShard(s *stepShard) {
 	s.awake, s.next = s.next, s.awake
 }
 
-// deliverShard runs the delivery phase for one destination shard: drain
-// every source shard's bucket (in shard order, keeping inboxes presorted by
-// sender range), sort multi-message inboxes by (sender, edge id), count
-// messages and drops, and wake sleeping recipients.
+// deliverShard runs the delivery phase for one destination shard: deposit
+// the delayed messages due this round, then drain every source shard's
+// bucket (in shard order, keeping inboxes presorted by sender range)
+// through the fault hook, sort multi-message inboxes by (sender, edge id),
+// count messages and drops, and wake sleeping recipients.
 func (e *stepEngine) deliverShard(d int) {
 	sd := &e.shards[d]
 	defer func() {
@@ -630,7 +689,17 @@ func (e *stepEngine) deliverShard(d int) {
 			e.recordErr(fmt.Errorf("sim: delivery to shard %d panicked: %v", d, r))
 		}
 	}()
-	continuing := e.continuing
+	deliverRound := e.round + 1
+	if sd.pendingN > 0 {
+		if late := sd.pending[deliverRound]; len(late) > 0 {
+			delete(sd.pending, deliverRound)
+			sd.pendingN -= len(late)
+			for i := range late {
+				e.deposit(sd, &late[i])
+			}
+		}
+	}
+	msgFaults := e.inj.HasMsgFaults()
 	for si := range e.shards {
 		bucket := e.shards[si].out[d]
 		if len(bucket) == 0 {
@@ -639,23 +708,27 @@ func (e *stepEngine) deliverShard(d int) {
 		for i := range bucket {
 			m := &bucket[i]
 			sd.msgs++
-			dst := &e.nodes[m.to]
-			if dst.halted {
-				if continuing {
-					sd.dropped++
+			if msgFaults {
+				switch fate, lag := e.inj.MsgFate(int(m.edgeID), m.from, deliverRound); fate {
+				case fault.DropMsg:
+					sd.faultDrops++
+					m.payload = nil
+					continue
+				case fault.DelayMsg, fault.DupMsg:
+					if sd.pending == nil {
+						sd.pending = make(map[int][]delivered)
+					}
+					sd.pending[deliverRound+lag] = append(sd.pending[deliverRound+lag], *m)
+					sd.pendingN++
+					if fate == fault.DelayMsg {
+						sd.delayed++
+						m.payload = nil
+						continue
+					}
+					sd.duped++
 				}
-				continue
 			}
-			box := e.inbox[m.to]
-			if len(box) == 0 {
-				sd.touched = append(sd.touched, int32(m.to))
-				if !dst.scheduled {
-					dst.scheduled = true
-					dst.asleep = false
-					sd.awake = append(sd.awake, int32(m.to))
-				}
-			}
-			e.inbox[m.to] = append(box, Message{From: m.from, EdgeID: int(m.edgeID), Payload: m.payload})
+			e.deposit(sd, m)
 			m.payload = nil // drop the engine's reference once delivered
 		}
 		e.shards[si].out[d] = bucket[:0]
@@ -671,6 +744,28 @@ func (e *stepEngine) deliverShard(d int) {
 		}
 	}
 	sd.touched = sd.touched[:0]
+}
+
+// deposit lands one message in its destination inbox (or the halted-drop
+// count), waking a sleeping recipient. sd must be m.to's shard.
+func (e *stepEngine) deposit(sd *stepShard, m *delivered) {
+	dst := &e.nodes[m.to]
+	if dst.halted {
+		if e.continuing {
+			sd.dropped++
+		}
+		return
+	}
+	box := e.inbox[m.to]
+	if len(box) == 0 {
+		sd.touched = append(sd.touched, int32(m.to))
+		if !dst.scheduled {
+			dst.scheduled = true
+			dst.asleep = false
+			sd.awake = append(sd.awake, int32(m.to))
+		}
+	}
+	e.inbox[m.to] = append(box, Message{From: m.from, EdgeID: int(m.edgeID), Payload: m.payload})
 }
 
 // abortMachines unwinds machines of nodes still live when the run ends —
