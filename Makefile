@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench-quick chaos ci
+.PHONY: build vet test test-short test-race bench bench-quick chaos fuzz golden ci
 
 ## build: compile every package (the tier-1 gate's first half)
 build:
@@ -26,9 +26,26 @@ test-race:
 chaos:
 	$(GO) run ./cmd/mmexp -only E10
 
+## bench: the engine benchmark suite at full (10⁶-node) scale, recorded
+## machine-readably in BENCH_engines.json for commit-over-commit tracking
+bench:
+	$(GO) run ./cmd/mmbench -full -out BENCH_engines.json
+
 ## bench-quick: one pass of the engine-comparison benchmarks
 bench-quick:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
 
-## ci: what .github/workflows/ci.yml runs
-ci: build vet test
+## fuzz: a bounded differential-fuzz session over (graph, algo, seed,
+## workers, faults) tuples; any divergence between engines is a bug
+fuzz:
+	$(GO) test -fuzz FuzzEngineEquivalence -fuzztime 60s -run '^$$' .
+
+## golden: regenerate the committed transcript fixtures (intentional
+## determinism changes only)
+golden:
+	$(GO) test ./cmd/mmnet -run TestGoldenTranscripts -update
+
+## ci: the gates .github/workflows/ci.yml runs (its race job re-runs the
+## short suite, differential seeds, and example smokes under -race)
+ci: build vet test chaos
+	$(GO) run ./cmd/mmexp -only E11

@@ -1,0 +1,237 @@
+// Command mmbench runs the engine benchmark suite and writes the results
+// as machine-readable JSON (BENCH_engines.json), so the performance
+// trajectory is tracked commit over commit instead of living in scrollback.
+//
+// Two kinds of rows:
+//
+//   - testing.Benchmark rows (relay round-throughput on each engine, native
+//     census) with ns/op and allocs/op;
+//   - scale rows (the E11 configurations: native MST merge, BFS forest +
+//     coloring, census — each on a big ring) timed as single runs, with
+//     nodes/sec derived from the wall clock.
+//
+// Usage:
+//
+//	mmbench                        # moderate sizes (~10⁵), seconds
+//	mmbench -full                  # 10⁶-node scale rows (minutes)
+//	mmbench -out BENCH_engines.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/forest"
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/sim"
+	"repro/internal/size"
+)
+
+// Row is one benchmark result in BENCH_engines.json.
+type Row struct {
+	Name        string  `json:"name"`
+	Nodes       int     `json:"nodes"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+	Rounds      int     `json:"rounds,omitempty"`
+	Messages    int64   `json:"messages,omitempty"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// Report is the whole file.
+type Report struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Full       bool   `json:"full"`
+	Rows       []Row  `json:"rows"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmbench:", err)
+		os.Exit(1)
+	}
+}
+
+const relayRounds = 20
+
+func relayProgram(ctx *sim.Ctx) error {
+	for r := 0; r < relayRounds; r++ {
+		ctx.Send(0, r)
+		ctx.Tick()
+	}
+	return nil
+}
+
+type relayMachine struct{ c *sim.StepCtx }
+
+func (m relayMachine) Step(in sim.Input) bool {
+	if in.Round == relayRounds {
+		return true
+	}
+	m.c.Send(0, in.Round)
+	return false
+}
+
+func (m relayMachine) Result() any { return nil }
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mmbench", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		out   = fs.String("out", "BENCH_engines.json", "output file ('-' for stdout)")
+		full  = fs.Bool("full", false, "run the 10⁶-node scale rows (minutes)")
+		nodes = fs.Int("n", 100_000, "node count for the relay/census benchmark rows")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep := &Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Full: *full}
+
+	ring, err := graph.Ring(*nodes, 1)
+	if err != nil {
+		return err
+	}
+
+	// Round-throughput rows: the same fixed-round relay protocol on the
+	// goroutine engine, the step engine through the adapter, and natively.
+	relay := func(name string, run func() (*sim.Result, error)) error {
+		var rounds int
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Metrics.Rounds
+			}
+		})
+		rep.Rows = append(rep.Rows, Row{
+			Name: name, Nodes: *nodes, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(),
+			NodesPerSec: float64(*nodes) * float64(rounds) / (float64(r.NsPerOp()) / 1e9),
+			Rounds:      rounds,
+			Note:        "node-rounds/sec over a 20-round all-nodes relay",
+		})
+		fmt.Fprintf(w, "%-32s %12d ns/op %10d allocs/op\n", name, r.NsPerOp(), r.AllocsPerOp())
+		return nil
+	}
+	if err := relay("relay/goroutine", func() (*sim.Result, error) {
+		return sim.Run(ring, relayProgram, sim.WithEngine(sim.EngineGoroutine))
+	}); err != nil {
+		return err
+	}
+	if err := relay("relay/step-adapter", func() (*sim.Result, error) {
+		return sim.Run(ring, relayProgram, sim.WithEngine(sim.EngineStep))
+	}); err != nil {
+		return err
+	}
+	if err := relay("relay/step-native", func() (*sim.Result, error) {
+		return sim.RunStep(ring, func(c *sim.StepCtx) sim.Machine { return relayMachine{c: c} })
+	}); err != nil {
+		return err
+	}
+
+	// Scale rows: the E11 configurations, one timed run each on the step
+	// engine.
+	scaleN := *nodes
+	if *full {
+		scaleN = 1_000_000
+	}
+	if err := scaleRows(w, rep, scaleN); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = w.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d rows)\n", *out, len(rep.Rows))
+	return nil
+}
+
+// scaleRows times the ported protocol suite on one big ring.
+func scaleRows(w io.Writer, rep *Report, n int) error {
+	prev := sim.DefaultEngine
+	sim.DefaultEngine = sim.EngineStep
+	defer func() { sim.DefaultEngine = prev }()
+
+	g, err := graph.Ring(n, 1)
+	if err != nil {
+		return err
+	}
+	add := func(name string, d time.Duration, rounds int, msgs int64, note string) {
+		rep.Rows = append(rep.Rows, Row{
+			Name: name, Nodes: n, NsPerOp: d.Nanoseconds(),
+			NodesPerSec: float64(n) / d.Seconds(), Rounds: rounds, Messages: msgs, Note: note,
+		})
+		fmt.Fprintf(w, "%-32s %12d ns/op  (%d nodes, %.2fs wall)\n", name, d.Nanoseconds(), n, d.Seconds())
+	}
+
+	t0 := time.Now()
+	census, err := size.Census(g, 1)
+	if err != nil {
+		return err
+	}
+	if census.N != n {
+		return fmt.Errorf("census = %d, want %d", census.N, n)
+	}
+	add("scale/census-step", time.Since(t0), census.Metrics.Rounds, census.Metrics.Messages,
+		"native BFS census, sleep/wake wavefront")
+
+	t0 = time.Now()
+	f, total, bmet, err := forest.BFS(g, 1)
+	if err != nil {
+		return err
+	}
+	if total != n {
+		return fmt.Errorf("bfs total = %d, want %d", total, n)
+	}
+	colors, cmet, err := coloring.Distributed(f, 1)
+	if err != nil {
+		return err
+	}
+	parent := coloring.ParentInts(f)
+	if !coloring.IsLegalColoring(parent, colors) || !coloring.IsRootedMIS(parent, colors) {
+		return fmt.Errorf("coloring at n=%d violates the spec", n)
+	}
+	add("scale/forest+coloring-step", time.Since(t0), bmet.Rounds+cmet.Rounds,
+		bmet.Messages+cmet.Messages, "distributed BFS forest, then 3-coloring + rooted MIS")
+
+	sf, err := mst.RingSegmentForest(g, 16)
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	res, err := mst.MultimediaFromForest(g, 1, sf, &sim.Metrics{})
+	if err != nil {
+		return err
+	}
+	d := time.Since(t0)
+	want, err := graph.Kruskal(g)
+	if err != nil {
+		return err
+	}
+	if !res.MST.Equal(want) {
+		return fmt.Errorf("mst at n=%d does not match kruskal", n)
+	}
+	add("scale/mst-merge-step", d, res.Total.Rounds, res.Total.Messages,
+		"native §6 merge over a 16-segment ring partition, verified vs Kruskal")
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchReportShape runs the harness at a tiny size and checks the JSON
+// report: every expected row present, sane values.
+func TestBenchReportShape(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "2000", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	want := map[string]bool{
+		"relay/goroutine":            false,
+		"relay/step-adapter":         false,
+		"relay/step-native":          false,
+		"scale/census-step":          false,
+		"scale/forest+coloring-step": false,
+		"scale/mst-merge-step":       false,
+	}
+	for _, row := range rep.Rows {
+		if _, ok := want[row.Name]; !ok {
+			t.Errorf("unexpected row %q", row.Name)
+			continue
+		}
+		want[row.Name] = true
+		if row.NsPerOp <= 0 || row.NodesPerSec <= 0 || row.Nodes <= 0 {
+			t.Errorf("row %q has degenerate values: %+v", row.Name, row)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("row %q missing from report", name)
+		}
+	}
+}

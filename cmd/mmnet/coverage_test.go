@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/difftest"
+)
+
+// TestEveryAlgoHasEquivalenceCoverage is the CI gate of the differential
+// harness: every -algo value this command accepts must be claimed by a
+// runner in internal/difftest, whose outcomes the engines-equivalence suite
+// compares bit for bit across engines, worker counts, and fault plans. An
+// algorithm cannot be added to the CLI without a step-engine equivalence
+// test.
+func TestEveryAlgoHasEquivalenceCoverage(t *testing.T) {
+	for _, algo := range algoNames {
+		if !difftest.Covers(algo) {
+			t.Errorf("-algo %s has no differential-test runner in internal/difftest", algo)
+		}
+	}
+	// And the registry must not claim algos the CLI no longer offers.
+	known := make(map[string]bool, len(algoNames))
+	for _, a := range algoNames {
+		known[a] = true
+	}
+	for _, p := range difftest.Protocols() {
+		for _, a := range p.Algos {
+			if !known[a] {
+				t.Errorf("difftest runner %s claims unknown -algo %s", p.Name, a)
+			}
+		}
+	}
+}
+
+// TestAlgoNamesMatchSwitch: every registered name must actually run (tiny
+// graph), so algoNames cannot drift from runAlgo's switch.
+func TestAlgoNamesMatchSwitch(t *testing.T) {
+	for _, algo := range algoNames {
+		args := []string{"-graph", "random", "-n", "14", "-extra", "10", "-algo", algo}
+		var buf discard
+		if err := run(args, &buf); err != nil {
+			t.Errorf("-algo %s: %v", algo, err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -23,8 +23,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
+	"sync"
 
+	"repro/internal/async"
+	"repro/internal/coloring"
 	"repro/internal/fault"
+	"repro/internal/forest"
 	"repro/internal/globalfunc"
 	"repro/internal/graph"
 	"repro/internal/mst"
@@ -34,6 +39,17 @@ import (
 	"repro/internal/size"
 	"repro/internal/snapshot"
 )
+
+// algoNames is the canonical -algo registry. Every entry must run on both
+// engines and be claimed by a differential-test runner in
+// internal/difftest (enforced by TestEveryAlgoHasEquivalenceCoverage).
+var algoNames = []string{
+	"partition-det", "partition-rand", "partition-lv",
+	"mst", "mst-boruvka",
+	"sum", "min", "p2p-sum", "bcast-sum",
+	"count", "census", "estimate", "estimate-step",
+	"elect", "snapshot", "coloring", "forest", "sync-sum",
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -80,7 +96,7 @@ func run(args []string, w io.Writer) error {
 		rays      = fs.Int("rays", 8, "rays (ray graph)")
 		rayLen    = fs.Int("raylen", 8, "ray length (ray graph)")
 		seed      = fs.Int64("seed", 1, "master seed")
-		algo      = fs.String("algo", "partition-det", "partition-det|partition-rand|partition-lv|mst|mst-boruvka|sum|min|p2p-sum|bcast-sum|count|census|estimate|estimate-step|elect|snapshot")
+		algo      = fs.String("algo", "partition-det", strings.Join(algoNames, "|"))
 		variant   = fs.String("variant", "det", "multimedia function variant: det|balanced|rand")
 		stage     = fs.String("stage", "cap", "global stage: cap|mb")
 		engine    = fs.String("engine", "goroutine", "execution engine: goroutine|step (census and estimate-step are native step-engine protocols and always run on step)")
@@ -301,34 +317,75 @@ func runAlgo(algo string, g *graph.Graph, seed int64, variant, stage string) (*r
 		rep.set("ratio", float64(res.Estimate)/float64(g.N()))
 		rep.metrics = &res.Metrics
 	case "elect":
-		res, err := sim.Run(g, func(c *sim.Ctx) error {
-			leader, ok, _ := resolve.Election(c, sim.Input{}, c.N(), true, int(c.ID()))
-			if !ok {
-				return fmt.Errorf("no contenders")
-			}
-			c.SetResult(leader)
-			return nil
-		}, sim.WithSeed(seed))
+		leader, met, err := resolve.Elect(g, seed)
 		if err != nil {
 			return nil, err
 		}
-		rep.addf("deterministic election: leader=%v (max id)", res.Results[0])
-		rep.set("leader", res.Results[0])
-		rep.metrics = &res.Metrics
+		rep.addf("deterministic election: leader=%v (max id)", leader)
+		rep.set("leader", leader)
+		rep.metrics = &met
 	case "snapshot":
-		res, err := sim.Run(g, func(c *sim.Ctx) error {
-			cut, ok, _ := snapshot.Take(c, sim.Input{}, c.ID() == 0, func(int) {})
-			if !ok {
-				return fmt.Errorf("snapshot not taken")
-			}
-			c.SetResult(cut)
-			return nil
-		}, sim.WithSeed(seed))
+		cut, met, err := snapshot.Run(g, seed)
 		if err != nil {
 			return nil, err
 		}
-		rep.addf("snapshot cut: %+v at every node", res.Results[0])
-		rep.set("cut", fmt.Sprintf("%+v", res.Results[0]))
+		rep.addf("snapshot cut: %+v at every node", cut)
+		rep.set("cut", fmt.Sprintf("%+v", cut))
+		rep.metrics = &met
+	case "forest":
+		f, total, met, err := forest.BFS(g, seed)
+		if err != nil {
+			return nil, err
+		}
+		st := f.Stats()
+		rep.addf("distributed BFS spanning forest: trees=%d maxRadius=%d counted n=%d", st.Trees, st.MaxRadius, total)
+		rep.set("trees", st.Trees)
+		rep.set("max_radius", st.MaxRadius)
+		rep.set("n_counted", total)
+		rep.metrics = &met
+	case "coloring":
+		f, _, bmet, err := forest.BFS(g, seed)
+		if err != nil {
+			return nil, err
+		}
+		colors, cmet, err := coloring.Distributed(f, seed)
+		if err != nil {
+			return nil, err
+		}
+		parent := coloring.ParentInts(f)
+		if !coloring.IsLegalColoring(parent, colors) {
+			return nil, fmt.Errorf("coloring: output is not a legal coloring")
+		}
+		if !coloring.IsRootedMIS(parent, colors) {
+			return nil, fmt.Errorf("coloring: red vertices are not a rooted MIS")
+		}
+		var byColor [3]int
+		for _, c := range colors {
+			byColor[c]++
+		}
+		rep.addf("distributed 3-coloring + rooted MIS: red=%d green=%d blue=%d (legal, MIS verified)",
+			byColor[coloring.Red], byColor[coloring.Green], byColor[coloring.Blue])
+		rep.set("red", byColor[coloring.Red])
+		rep.set("green", byColor[coloring.Green])
+		rep.set("blue", byColor[coloring.Blue])
+		total := bmet
+		total.Add(&cmet)
+		rep.metrics = &total
+	case "sync-sum":
+		results := make([]int64, g.N())
+		var mu sync.Mutex
+		res, err := async.Sync(g, seed, 1<<30,
+			async.SumDemo(func(v graph.NodeID) int64 { return int64(v) + 1 }, results, &mu))
+		if err != nil {
+			return nil, err
+		}
+		want := int64(g.N()) * int64(g.N()+1) / 2
+		rep.addf("synchronizer-driven sum = %d (reference %d): %d simulated rounds, overhead %.2fx",
+			results[0], want, res.Rounds, res.Overhead())
+		rep.set("sum", results[0])
+		rep.set("sim_rounds", res.Rounds)
+		rep.set("alg_msgs", res.AlgMsgs)
+		rep.set("ack_msgs", res.AckMsgs)
 		rep.metrics = &res.Metrics
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", algo)

@@ -30,7 +30,11 @@ func TestRunAlgos(t *testing.T) {
 		{"estimate-step", []string{"-graph", "ring", "-n", "12", "-algo", "estimate-step"}, "native step size estimate"},
 		{"elect", []string{"-graph", "ring", "-n", "12", "-algo", "elect"}, "leader=11"},
 		{"snapshot", []string{"-graph", "ring", "-n", "12", "-algo", "snapshot"}, "snapshot cut"},
+		{"forest", []string{"-graph", "ring", "-n", "12", "-algo", "forest"}, "counted n=12"},
+		{"coloring", []string{"-graph", "ring", "-n", "12", "-algo", "coloring"}, "MIS verified"},
+		{"sync-sum", []string{"-graph", "ring", "-n", "12", "-algo", "sync-sum"}, "synchronizer-driven sum = 78"},
 		{"step-engine", []string{"-graph", "ring", "-n", "12", "-algo", "mst", "-engine", "step"}, "engine=step"},
+		{"step-coloring", []string{"-graph", "ring", "-n", "12", "-algo", "coloring", "-engine", "step"}, "MIS verified"},
 		{"other-graphs", []string{"-graph", "ray", "-rays", "3", "-raylen", "3", "-algo", "count"}, "n=10"},
 	}
 	for _, tc := range cases {

@@ -4,11 +4,9 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/difftest"
 	"repro/internal/fault"
-	"repro/internal/globalfunc"
 	"repro/internal/graph"
-	"repro/internal/mst"
-	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/size"
 )
@@ -33,72 +31,28 @@ var equivalenceTopologies = []struct {
 	{"ray4x4", func() (*graph.Graph, error) { return graph.Ray(4, 4, 9) }},
 }
 
-// equivalenceProtocols are the module's protocols, each returning its full
-// observable outcome as a value compared with reflect.DeepEqual.
-var equivalenceProtocols = []struct {
-	name string
-	run  func(g *graph.Graph) (any, error)
-}{
-	{"partition-det", func(g *graph.Graph) (any, error) {
-		f, met, info, err := partition.Deterministic(g, 1)
-		if err != nil {
-			return nil, err
-		}
-		return []any{f.Parent, f.ParentEdge, *met, info.Phases}, nil
-	}},
-	{"partition-rand", func(g *graph.Graph) (any, error) {
-		f, met, info, err := partition.Randomized(g, 1)
-		if err != nil {
-			return nil, err
-		}
-		return []any{f.Parent, f.ParentEdge, *met, info.Iterations}, nil
-	}},
-	{"mst", func(g *graph.Graph) (any, error) {
-		res, err := mst.Multimedia(g, 1)
-		if err != nil {
-			return nil, err
-		}
-		return []any{res.MST.EdgeIDs, res.MST.Total, res.Phases, res.Total}, nil
-	}},
-	{"sum", func(g *graph.Graph) (any, error) {
-		in := func(v graph.NodeID) int64 { return (int64(v)*97 + 5) % 1000 }
-		res, err := globalfunc.Multimedia(g, 1, globalfunc.Sum, in,
-			globalfunc.VariantDeterministic, globalfunc.StageCapetanakis)
-		if err != nil {
-			return nil, err
-		}
-		return []any{res.Value, res.Trees, res.Total}, nil
-	}},
-	{"count", func(g *graph.Graph) (any, error) {
-		res, err := size.Exact(g, 1, 0)
-		if err != nil {
-			return nil, err
-		}
-		return []any{res.N, res.Phases, res.Metrics}, nil
-	}},
-}
-
 // TestEngineEquivalence is the cross-engine determinism gate: for a fixed
 // seed, the goroutine engine and the step engine must produce byte-identical
-// results and identical metrics for every protocol of the module, on every
-// topology family the paper evaluates.
+// results and identical metrics for every protocol in the differential
+// registry — the full `mmnet -algo` suite — on every topology family the
+// paper evaluates.
 func TestEngineEquivalence(t *testing.T) {
 	for _, topo := range equivalenceTopologies {
-		for _, proto := range equivalenceProtocols {
-			t.Run(topo.name+"/"+proto.name, func(t *testing.T) {
+		for _, proto := range difftest.Protocols() {
+			t.Run(topo.name+"/"+proto.Name, func(t *testing.T) {
 				g, err := topo.mk()
 				if err != nil {
 					t.Fatal(err)
 				}
 				var want, got any
 				withEngine(t, sim.EngineGoroutine, func() {
-					want, err = proto.run(g)
+					want, err = proto.Run(g, 1)
 				})
 				if err != nil {
 					t.Fatalf("goroutine engine: %v", err)
 				}
 				withEngine(t, sim.EngineStep, func() {
-					got, err = proto.run(g)
+					got, err = proto.Run(g, 1)
 				})
 				if err != nil {
 					t.Fatalf("step engine: %v", err)
@@ -122,17 +76,6 @@ func TestEngineEquivalenceUnderFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	type outcome struct {
-		value any
-		err   string
-	}
-	capture := func(run func(g *graph.Graph) (any, error), g *graph.Graph) outcome {
-		v, err := run(g)
-		if err != nil {
-			return outcome{err: err.Error()}
-		}
-		return outcome{value: v}
-	}
 	oldPlan := sim.DefaultFaults
 	sim.DefaultFaults = plan
 	defer func() { sim.DefaultFaults = oldPlan }()
@@ -144,22 +87,22 @@ func TestEngineEquivalenceUnderFaults(t *testing.T) {
 	defer func() { sim.DefaultMaxRounds = oldMax }()
 
 	for _, topo := range equivalenceTopologies {
-		for _, proto := range equivalenceProtocols {
-			t.Run(topo.name+"/"+proto.name, func(t *testing.T) {
+		for _, proto := range difftest.Protocols() {
+			t.Run(topo.name+"/"+proto.Name, func(t *testing.T) {
 				g, err := topo.mk()
 				if err != nil {
 					t.Fatal(err)
 				}
 				var want outcome
 				withEngine(t, sim.EngineGoroutine, func() {
-					want = capture(proto.run, g)
+					want = capture(proto.Run, g, 1)
 				})
 				for _, workers := range []int{1, 4} {
 					var got outcome
 					oldW := sim.DefaultWorkers
 					sim.DefaultWorkers = workers
 					withEngine(t, sim.EngineStep, func() {
-						got = capture(proto.run, g)
+						got = capture(proto.Run, g, 1)
 					})
 					sim.DefaultWorkers = oldW
 					if !reflect.DeepEqual(want, got) {
@@ -170,6 +113,21 @@ func TestEngineEquivalenceUnderFaults(t *testing.T) {
 			})
 		}
 	}
+}
+
+// outcome captures a run's full observable result: its value on success or
+// its error string on failure.
+type outcome struct {
+	value any
+	err   string
+}
+
+func capture(run func(g *graph.Graph, seed int64) (any, error), g *graph.Graph, seed int64) outcome {
+	v, err := run(g, seed)
+	if err != nil {
+		return outcome{err: err.Error()}
+	}
+	return outcome{value: v}
 }
 
 // TestMillionNodeRingCensus is the scale gate of ISSUE 1: the native step

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -21,10 +22,14 @@ import (
 )
 
 func main() {
+	nFlag := flag.Int("n", 150, "stations in the small network")
+	bigFlag := flag.Int("big", 200_000, "stations in the native-census ring finale")
+	flag.Parse()
+
 	// Route every protocol below through the step engine.
 	sim.DefaultEngine = sim.EngineStep
 
-	const n = 150
+	n := *nFlag
 	g, err := graph.RandomConnected(n, 2*n, 11)
 	if err != nil {
 		log.Fatal(err)
@@ -52,7 +57,7 @@ func main() {
 	// The native step census at a scale no goroutine-per-node engine
 	// reaches: every node sleeps until the BFS wavefront arrives, so the
 	// engine does O(n + m) work regardless of the 10⁵ rounds the wave needs.
-	const big = 200_000
+	big := *bigFlag
 	bigRing, err := graph.Ring(big, 7)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,60 @@
+// Package examples_test smoke-tests every example program: each must
+// build, run to completion at a small -n, exit 0, and print output of the
+// expected shape. The examples are the repository's executable
+// documentation; this suite keeps them from rotting as APIs move.
+package examples_test
+
+import (
+	"os/exec"
+	"regexp"
+	"testing"
+)
+
+var smokes = []struct {
+	name string
+	args []string
+	want []string // regexps the combined output must match
+}{
+	{
+		name: "quickstart",
+		args: []string{"-n", "48"},
+		want: []string{`network: n=48 nodes`, `partition: \d+ trees`, `global min = \d+ \(reference \d+\)`},
+	},
+	{
+		name: "mstnet",
+		args: []string{"-n", "32"},
+		want: []string{`weighted network: n=32`, `distributed MST: 31 edges`, `verified: identical to sequential Kruskal`},
+	},
+	{
+		name: "sensorgrid",
+		args: []string{"-n", "64"},
+		want: []string{`total of all sensor readings`, `\s+64\s+32\s+\d+ rounds\s+\d+ rounds\s+\d+ rounds`},
+	},
+	{
+		name: "synchronizer",
+		args: []string{"-n", "25"},
+		want: []string{`n=\s*25: sum=325`, `overhead=2\.00x`},
+	},
+	{
+		name: "census",
+		args: []string{"-n", "40", "-big", "3000"},
+		want: []string{`§7\.3 deterministic count: n = 40`, `native step census of a 3000-node ring: n = 3000`},
+	},
+}
+
+func TestExamplesSmoke(t *testing.T) {
+	for _, tc := range smokes {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"run", "repro/examples/" + tc.name}, tc.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go %v: %v\n%s", args, err, out)
+			}
+			for _, pat := range tc.want {
+				if !regexp.MustCompile(pat).Match(out) {
+					t.Errorf("output does not match %q:\n%s", pat, out)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,7 +15,9 @@ import (
 )
 
 func main() {
-	const n = 200
+	nFlag := flag.Int("n", 200, "number of nodes")
+	flag.Parse()
+	n := *nFlag
 	g, err := graph.RandomConnected(n, 3*n, 7)
 	if err != nil {
 		log.Fatal(err)
@@ -43,7 +46,7 @@ func main() {
 	fmt.Println("verified: identical to sequential Kruskal, edge for edge")
 
 	// The first few MST edges, for a look at the output format.
-	for i, id := range res.MST.EdgeIDs[:5] {
+	for i, id := range res.MST.EdgeIDs[:min(5, len(res.MST.EdgeIDs))] {
 		e := g.Edge(id)
 		fmt.Printf("  edge %d: %d—%d (weight %d)\n", i, e.U, e.V, e.Weight)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,9 +15,12 @@ import (
 )
 
 func main() {
-	// A 256-node network: a random connected point-to-point topology plus
-	// the multiaccess channel the simulator always provides.
-	const n = 256
+	// A 256-node network (tunable with -n): a random connected
+	// point-to-point topology plus the multiaccess channel the simulator
+	// always provides.
+	nFlag := flag.Int("n", 256, "number of nodes")
+	flag.Parse()
+	n := *nFlag
 	g, err := graph.RandomConnected(n, 2*n, 42)
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,11 +14,14 @@ import (
 )
 
 func main() {
+	maxN := flag.Int("n", 1024, "largest network size in the sweep")
+	flag.Parse()
+	sizes := sweepSizes([]int{64, 256}, *maxN)
 	readings := func(v graph.NodeID) int64 { return (int64(v)*31 + 7) % 100 }
 
 	fmt.Println("total of all sensor readings, ring topology (d = n/2):")
 	fmt.Printf("%6s  %6s  %14s  %14s  %14s\n", "n", "d", "multimedia", "p2p only", "bus only")
-	for _, n := range []int{64, 256, 1024} {
+	for _, n := range sizes {
 		g, err := graph.Ring(n, 1)
 		if err != nil {
 			log.Fatal(err)
@@ -44,4 +48,16 @@ func main() {
 	}
 	fmt.Println("\nthe multimedia combination scales as Õ(√n); each single medium")
 	fmt.Println("is bound below by Ω(d) (point-to-point) or Ω(n) (bus) — Theorem 2.")
+}
+
+// sweepSizes keeps the default rungs below max and ends the sweep at max
+// itself, so -n is honored exactly as its help text promises.
+func sweepSizes(defaults []int, max int) []int {
+	var sizes []int
+	for _, s := range defaults {
+		if s < max {
+			sizes = append(sizes, s)
+		}
+	}
+	return append(sizes, max)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -16,7 +17,9 @@ import (
 )
 
 func main() {
-	for _, n := range []int{25, 100, 400} {
+	maxN := flag.Int("n", 400, "largest network size in the sweep")
+	flag.Parse()
+	for _, n := range sweepSizes([]int{25, 100}, *maxN) {
 		g, err := graph.Grid(n/5, 5, 3)
 		if err != nil {
 			log.Fatal(err)
@@ -38,4 +41,16 @@ func main() {
 	}
 	fmt.Println("\nthe asynchronous runs compute the same value as the synchronous")
 	fmt.Println("algorithm, with exactly 2x messages and O(1) slots per round (Cor. 4).")
+}
+
+// sweepSizes keeps the default rungs below max and ends the sweep at max
+// itself, so -n is honored exactly as its help text promises.
+func sweepSizes(defaults []int, max int) []int {
+	var sizes []int
+	for _, s := range defaults {
+		if s < max {
+			sizes = append(sizes, s)
+		}
+	}
+	return append(sizes, max)
 }

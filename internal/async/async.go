@@ -39,8 +39,21 @@ type Message struct {
 // RoundFunc is a synchronous algorithm: invoked at every clock pulse with
 // the round number and the messages sent to this node in the previous
 // round. State lives in per-node closures created by the factory passed to
-// Run.
-type RoundFunc func(api *NodeAPI, round int, inbox []Message)
+// Run (or to the sim-engine forms in sync.go).
+type RoundFunc func(api Port, round int, inbox []Message)
+
+// Port is the node handle a RoundFunc drives: implemented by this package's
+// event-driven engine (NodeAPI) and by the synchronizer ports of sync.go
+// that run the same RoundFunc on either sim engine.
+type Port interface {
+	ID() graph.NodeID
+	N() int
+	Adj() []graph.Half
+	Degree() int
+	Send(link int, payload any)
+	SendTo(to graph.NodeID, payload any)
+	Halt()
+}
 
 // NodeAPI is a node's handle during a round callback.
 type NodeAPI struct {

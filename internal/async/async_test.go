@@ -109,7 +109,7 @@ func TestRoundBudget(t *testing.T) {
 	}
 	// A program that never halts and never sends: pulses forever.
 	_, err = Run(g, 1, 10, func(id graph.NodeID) RoundFunc {
-		return func(api *NodeAPI, round int, inbox []Message) {}
+		return func(api Port, round int, inbox []Message) {}
 	})
 	if !errors.Is(err, ErrRoundBudget) {
 		t.Fatalf("err = %v, want ErrRoundBudget", err)
@@ -125,7 +125,7 @@ func TestEmptyRoundsPulseQuickly(t *testing.T) {
 	}
 	const k = 7
 	met, err := Run(g, 1, 100, func(id graph.NodeID) RoundFunc {
-		return func(api *NodeAPI, round int, inbox []Message) {
+		return func(api Port, round int, inbox []Message) {
 			if round >= k {
 				api.Halt()
 			}
@@ -165,7 +165,7 @@ func TestSendToUnknownNeighborPanics(t *testing.T) {
 		}
 	}()
 	_, _ = Run(g, 1, 10, func(id graph.NodeID) RoundFunc {
-		return func(api *NodeAPI, round int, inbox []Message) {
+		return func(api Port, round int, inbox []Message) {
 			if id == 0 {
 				api.SendTo(2, "x") // not adjacent on a path
 			}

@@ -34,7 +34,7 @@ func SumDemo(inputs func(graph.NodeID) int64, results []int64, mu *sync.Mutex) f
 		sentUp := false
 		done := false
 
-		return func(api *NodeAPI, round int, inbox []Message) {
+		return func(api Port, round int, inbox []Message) {
 			if done {
 				api.Halt()
 				return

@@ -1,0 +1,265 @@
+package forest
+
+// protocol.go grows a rooted spanning forest *distributedly*: a BFS
+// explore/ack wavefront from node 0 (every node adopts the least-id
+// neighbor that reached it first), a size convergecast up the adopted tree,
+// and a completion broadcast back down — the §2 point-to-point machinery
+// the paper's local stages assume, producing a forest.Forest instead of a
+// scalar aggregate. The protocol never touches the channel, so it is pure
+// point-to-point: O(diameter) rounds and O(n + m) messages.
+//
+// Both engine forms are message-for-message identical — one shared bfsState
+// transition drives the goroutine Program and the native machine, and the
+// engines-equivalence suite compares them bit for bit. Being message-driven,
+// the native form sleeps whenever no message can change its state, which
+// grows million-node forests in seconds.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Protocol payloads.
+type (
+	fExplore struct{} // BFS wavefront
+	fAck     struct{ Child bool }
+	fValue   struct{ N int } // subtree size, convergecast up
+	fDone    struct{ N int } // total, broadcast down: the termination signal
+)
+
+// bfsResult is one node's final record.
+type bfsResult struct {
+	Parent     graph.NodeID
+	ParentEdge int
+	Total      int
+}
+
+// BFSProgram returns the goroutine form of the spanning-forest protocol.
+func BFSProgram() sim.Program {
+	return func(c *sim.Ctx) error {
+		st := newBFSState(c.ID() == 0)
+		if st.root {
+			st.explore(cSender{c}, nil)
+		}
+		for {
+			in := c.Tick()
+			if st.step(cSender{c}, in) {
+				c.SetResult(st.record())
+				return nil
+			}
+		}
+	}
+}
+
+// BFSStepProgram returns the native machine form of the protocol.
+func BFSStepProgram() sim.StepProgram {
+	return func(c *sim.StepCtx) sim.Machine {
+		return &bfsMachine{c: c, st: newBFSState(c.ID() == 0)}
+	}
+}
+
+type bfsMachine struct {
+	c  *sim.StepCtx
+	st *bfsState
+}
+
+func (m *bfsMachine) Step(in sim.Input) bool {
+	s := scSender{m.c}
+	if in.Round == 0 {
+		if m.st.root {
+			m.st.explore(s, nil)
+		}
+		return m.st.finishRound(m.c)
+	}
+	if m.st.step(s, in) {
+		return true
+	}
+	return m.st.finishRound(m.c)
+}
+
+func (m *bfsMachine) Result() any { return m.st.record() }
+
+// sender abstracts the two engines' send/link surface so one state
+// transition drives both forms.
+type sender interface {
+	send(link int, p sim.Payload)
+	degree() int
+	linkOf(edgeID int) int
+}
+
+type cSender struct{ c *sim.Ctx }
+
+func (s cSender) send(link int, p sim.Payload) { s.c.Send(link, p) }
+func (s cSender) degree() int                  { return s.c.Degree() }
+func (s cSender) linkOf(edgeID int) int        { return s.c.LinkOf(edgeID) }
+
+type scSender struct{ c *sim.StepCtx }
+
+func (s scSender) send(link int, p sim.Payload) { s.c.Send(link, p) }
+func (s scSender) degree() int                  { return s.c.Degree() }
+func (s scSender) linkOf(edgeID int) int        { return s.c.LinkOf(edgeID) }
+
+// bfsState is the per-node protocol state, identical across engine forms.
+type bfsState struct {
+	root bool
+
+	parent     graph.NodeID
+	parentEdge int
+	parentLink int
+
+	adopted     bool
+	explored    bool
+	sentUp      bool
+	acksPending int
+	childLinks  []int
+	reports     int
+	size        int
+
+	total    int
+	resultIn bool
+}
+
+func newBFSState(root bool) *bfsState {
+	return &bfsState{root: root, adopted: root, parent: -1, parentEdge: -1, parentLink: -1, size: 1}
+}
+
+func (st *bfsState) explore(s sender, skip map[int]bool) {
+	for l := 0; l < s.degree(); l++ {
+		if !skip[l] {
+			s.send(l, fExplore{})
+			st.acksPending++
+		}
+	}
+	st.explored = true
+}
+
+func (st *bfsState) forward(s sender, v int) {
+	for _, l := range st.childLinks {
+		s.send(l, fDone{N: v})
+	}
+	st.total, st.resultIn = v, true
+}
+
+// step consumes one round's input; true means the node is finished.
+func (st *bfsState) step(s sender, in sim.Input) (halt bool) {
+	// Adoption: among this round's explores pick the least sender; links
+	// that carried an explore lead to already-adopted nodes.
+	bestLink := -1
+	bestEdge := -1
+	var bestFrom graph.NodeID
+	var exploredLinks map[int]bool
+	for _, msg := range in.Msgs {
+		if _, ok := msg.Payload.(fExplore); ok {
+			l := s.linkOf(msg.EdgeID)
+			if exploredLinks == nil {
+				exploredLinks = make(map[int]bool, 2)
+			}
+			exploredLinks[l] = true
+			if bestLink == -1 || msg.From < bestFrom {
+				bestLink, bestEdge, bestFrom = l, msg.EdgeID, msg.From
+			}
+		}
+	}
+	adoptedNow := false
+	if bestLink != -1 && !st.adopted {
+		st.adopted, adoptedNow = true, true
+		st.parentLink, st.parentEdge, st.parent = bestLink, bestEdge, bestFrom
+		st.explore(s, exploredLinks)
+	}
+	parentLinkBusy := false
+	for _, msg := range in.Msgs {
+		l := s.linkOf(msg.EdgeID)
+		switch p := msg.Payload.(type) {
+		case fExplore:
+			s.send(l, fAck{Child: adoptedNow && l == st.parentLink})
+			if l == st.parentLink {
+				parentLinkBusy = true
+			}
+		case fAck:
+			st.acksPending--
+			if p.Child {
+				st.childLinks = append(st.childLinks, l)
+			}
+		case fValue:
+			st.size += p.N
+			st.reports++
+		case fDone:
+			st.forward(s, p.N)
+		}
+	}
+	// Convergecast once the child set is final and all children reported;
+	// wait a round if the ack already used the parent link.
+	if st.upReady() && !parentLinkBusy {
+		st.sentUp = true
+		if st.root {
+			st.forward(s, st.size)
+		} else {
+			s.send(st.parentLink, fValue{N: st.size})
+		}
+	}
+	return st.resultIn && st.acksPending == 0
+}
+
+func (st *bfsState) upReady() bool {
+	return st.adopted && st.explored && st.acksPending == 0 && !st.sentUp &&
+		st.reports == len(st.childLinks)
+}
+
+// finishRound parks the native machine whenever only a message can change
+// its state (the goroutine form just blocks in Tick).
+func (st *bfsState) finishRound(c *sim.StepCtx) bool {
+	if !st.upReady() {
+		c.Sleep()
+	}
+	return false
+}
+
+func (st *bfsState) record() any {
+	return bfsResult{Parent: st.parent, ParentEdge: st.parentEdge, Total: st.total}
+}
+
+// BFS grows the spanning forest of g from node 0 on sim.DefaultEngine and
+// validates it. Every node also learns n (the convergecast total), returned
+// for cross-checking.
+func BFS(g *graph.Graph, seed int64) (*Forest, int, sim.Metrics, error) {
+	var res *sim.Result
+	var err error
+	if sim.DefaultEngine == sim.EngineStep {
+		res, err = sim.RunStep(g, BFSStepProgram(), sim.WithSeed(seed))
+	} else {
+		res, err = sim.Run(g, BFSProgram(), sim.WithSeed(seed))
+	}
+	if err != nil {
+		return nil, 0, sim.Metrics{}, fmt.Errorf("forest: bfs: %w", err)
+	}
+	n := g.N()
+	parent := make([]graph.NodeID, n)
+	parentEdge := make([]int, n)
+	total := 0
+	totalSet := false
+	for v, r := range res.Results {
+		rec, ok := r.(bfsResult)
+		if !ok {
+			// Crash-stopped before recording: the node ends up a root of its
+			// own (possibly trivial) tree.
+			parent[v], parentEdge[v] = -1, -1
+			continue
+		}
+		parent[v], parentEdge[v] = rec.Parent, rec.ParentEdge
+		if !totalSet {
+			total, totalSet = rec.Total, true
+		} else if rec.Total != total {
+			return nil, 0, sim.Metrics{}, fmt.Errorf("forest: node %d learned total %d, others %d", v, rec.Total, total)
+		}
+	}
+	f, err := New(g, parent, parentEdge)
+	if err != nil {
+		return nil, 0, sim.Metrics{}, err
+	}
+	if res.Metrics.Slots() != 0 {
+		return nil, 0, sim.Metrics{}, fmt.Errorf("forest: bfs touched the channel")
+	}
+	return f, total, res.Metrics, nil
+}

@@ -73,7 +73,15 @@ func MultimediaFromForest(g *graph.Graph, seed int64, f *forest.Forest, pm *sim.
 
 func finish(g *graph.Graph, seed int64, f *forest.Forest, pm *sim.Metrics) (*Result, error) {
 	phases := 0
-	res, err := sim.Run(g, mergeProgram(f, &phases), sim.WithSeed(seed+1))
+	var res *sim.Result
+	var err error
+	if sim.DefaultEngine == sim.EngineStep {
+		// The native machine form of the merge (step.go): bit-identical
+		// transcript, but passive nodes sleep through the barrier phases.
+		res, err = sim.RunStep(g, mergeStepProgram(f, &phases), sim.WithSeed(seed+1))
+	} else {
+		res, err = sim.Run(g, mergeProgram(f, &phases), sim.WithSeed(seed+1))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("mst: merge: %w", err)
 	}

@@ -1,0 +1,66 @@
+package mst
+
+// segments.go builds the partition shape stage 3 of §6 requires — a rooted
+// spanning forest whose every tree is an MST subtree — locally for ring
+// topologies, so the scale experiments and benchmarks can drive the native
+// merge at sizes where running the distributed §3 construction first would
+// dominate the measurement (the construction itself is exercised at smaller
+// scale by the partition experiments).
+
+import (
+	"fmt"
+
+	"repro/internal/forest"
+	"repro/internal/graph"
+)
+
+// RingSegmentForest chops a ring into k contiguous chains avoiding the
+// heaviest edge. The MST of a ring is the ring minus its heaviest edge, so
+// every chain is a subtree of the (unique) MST.
+func RingSegmentForest(g *graph.Graph, k int) (*forest.Forest, error) {
+	n := g.N()
+	if k > n {
+		k = n
+	}
+	heaviest := 0
+	for id := 1; id < g.M(); id++ {
+		if g.Edge(id).Weight > g.Edge(heaviest).Weight {
+			heaviest = id
+		}
+	}
+	// Walk the ring starting just past the heaviest edge.
+	start := g.Edge(heaviest).V
+	prev := g.Edge(heaviest).U
+	order := make([]graph.NodeID, 0, n)
+	edgeTo := make([]int, 0, n) // edgeTo[i-1] connects order[i] to order[i-1]
+	cur := start
+	for len(order) < n {
+		order = append(order, cur)
+		next := cur
+		nextEdge := -1
+		for _, h := range g.Adj(cur) {
+			if h.To != prev && h.EdgeID != heaviest {
+				next, nextEdge = h.To, h.EdgeID
+				break
+			}
+		}
+		if len(order) < n && nextEdge == -1 {
+			return nil, fmt.Errorf("mst: node %d is not on a ring", cur)
+		}
+		prev, cur = cur, next
+		if len(order) < n {
+			edgeTo = append(edgeTo, nextEdge)
+		}
+	}
+	parent := make([]graph.NodeID, n)
+	parentEdge := make([]int, n)
+	seg := (n + k - 1) / k
+	for i, v := range order {
+		if i%seg == 0 {
+			parent[v], parentEdge[v] = -1, -1
+		} else {
+			parent[v], parentEdge[v] = order[i-1], edgeTo[i-1]
+		}
+	}
+	return forest.New(g, parent, parentEdge)
+}

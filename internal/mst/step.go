@@ -1,0 +1,273 @@
+package mst
+
+// step.go is the native step-machine form of stages 2–3 of the §6 MST
+// algorithm: a state-machine transcription of mergeProgram, slot-for-slot
+// and message-for-message identical to the goroutine form, so either engine
+// produces a bit-identical transcript. The native form is what makes the
+// merge run at million-node scale: during the per-phase convergecast
+// barriers, passive nodes are parked with SleepUntilPulse, so a phase costs
+// O(n) machine steps instead of O(n · radius).
+//
+// finish() dispatches here whenever sim.DefaultEngine is the step engine,
+// which is how `mmnet -algo mst -engine step` retires the goroutine merge.
+
+import (
+	"sort"
+
+	"repro/internal/forest"
+	"repro/internal/graph"
+	"repro/internal/resolve"
+	"repro/internal/sim"
+)
+
+// merge machine states.
+const (
+	msCap   = iota // stage 2: Capetanakis core scheduling
+	msExch         // stage 3 part 1: awaiting the fragment exchange
+	msConv         // stage 3 step 1: convergecast barrier
+	msSlots        // stage 3 step 2: core broadcast slots
+)
+
+// mergeMachine is one node's state in the native merge. The forest and the
+// children lists are shared read-only across all machines of the run.
+type mergeMachine struct {
+	c         *sim.StepCtx
+	f         *forest.Forest
+	kids      []graph.NodeID
+	phasesOut *int
+
+	state int
+	cap   *resolve.CapetanakisStep
+	b     *sim.StepBarrier
+
+	isCore   bool
+	initFrag graph.NodeID
+	mstEdges map[int]bool
+
+	k         int
+	slotOf    int
+	fragIndex map[graph.NodeID]int
+	linkFrag  map[int]graph.NodeID // edge id -> neighbor's initial fragment
+	uf        *graph.UnionFind
+
+	// Per-phase state.
+	best    mMin
+	reports int
+	sentUp  bool
+	heard   []mSlot
+	slotIdx int
+	phases  int
+
+	result any
+}
+
+// mergeStepProgram builds the native machines for stages 2 and 3 of §6.
+func mergeStepProgram(f *forest.Forest, phasesOut *int) sim.StepProgram {
+	children := f.Children()
+	return func(c *sim.StepCtx) sim.Machine {
+		id := c.ID()
+		m := &mergeMachine{
+			c:         c,
+			f:         f,
+			kids:      children[id],
+			phasesOut: phasesOut,
+			b:         sim.NewStepBarrier(c),
+			isCore:    f.Parent[id] == -1,
+			initFrag:  f.Root(id),
+			mstEdges:  make(map[int]bool),
+		}
+		if f.ParentEdge[id] != -1 {
+			m.mstEdges[f.ParentEdge[id]] = true
+		}
+		m.cap = resolve.NewCapetanakisStep(c, c.N(), m.isCore, int(id), nil, 0)
+		return m
+	}
+}
+
+func (m *mergeMachine) Result() any { return m.result }
+
+func (m *mergeMachine) Step(in sim.Input) bool {
+	switch m.state {
+	case msCap:
+		if in.Round == 0 {
+			m.cap.Begin()
+			return false
+		}
+		if !m.cap.Poll(in) {
+			return false
+		}
+		m.finishCap()
+		// Stage 3 part 1: learn the initial fragment across every link,
+		// in the round the schedule completed.
+		for l := range m.c.Adj() {
+			m.c.Send(l, mFragExchange{Frag: m.initFrag})
+		}
+		m.state = msExch
+		return false
+	case msExch:
+		m.linkFrag = make(map[int]graph.NodeID, m.c.Degree())
+		for _, msg := range in.Msgs {
+			m.linkFrag[msg.EdgeID] = msg.Payload.(mFragExchange).Frag
+		}
+		if m.uf.Sets() <= 1 {
+			return m.finish()
+		}
+		m.enterConv()
+		return m.stepConv(in)
+	case msConv:
+		return m.stepConv(in)
+	case msSlots:
+		return m.stepSlots(in)
+	}
+	return false
+}
+
+// finishCap replicates the per-node bookkeeping after stage 2: the ordered
+// core list indexes the replicated union-find.
+func (m *mergeMachine) finishCap() {
+	sched := m.cap.Sched
+	m.k = len(sched)
+	m.slotOf = -1
+	m.fragIndex = make(map[graph.NodeID]int, m.k)
+	for i, s := range sched {
+		m.fragIndex[graph.NodeID(s.ID)] = i
+		if graph.NodeID(s.ID) == m.c.ID() {
+			m.slotOf = i
+		}
+	}
+	m.uf = graph.NewUnionFind(m.k)
+}
+
+func (m *mergeMachine) curOf(fr graph.NodeID) int { return m.uf.Find(m.fragIndex[fr]) }
+
+// enterConv opens a merge phase: pick the locally best outgoing candidate
+// and reset the convergecast counters.
+func (m *mergeMachine) enterConv() {
+	myCur := m.curOf(m.initFrag)
+	m.best = mMin{Valid: false, W: graph.Weight(int64(^uint64(0) >> 1))}
+	for _, h := range m.c.Adj() {
+		other, ok := m.linkFrag[h.EdgeID]
+		if !ok || m.curOf(other) == myCur {
+			continue
+		}
+		if !m.best.Valid || h.Weight < m.best.W {
+			m.best = mMin{Valid: true, W: h.Weight, Edge: h.EdgeID, Target: other}
+		}
+	}
+	m.reports = 0
+	m.sentUp = false
+	m.state = msConv
+}
+
+// convHandle is the barrier handler of stage 3 step 1, identical to the
+// goroutine form's closure.
+func (m *mergeMachine) convHandle(step sim.Input) bool {
+	for _, msg := range step.Msgs {
+		p, ok := msg.Payload.(mMin)
+		if !ok {
+			continue // e.g. the part-1 exchange input replayed on entry
+		}
+		m.reports++
+		if p.Valid && (!m.best.Valid || p.W < m.best.W) {
+			m.best = p
+		}
+	}
+	if !m.sentUp && m.reports == len(m.kids) {
+		m.sentUp = true
+		if !m.isCore {
+			m.c.SendTo(m.f.Parent[m.c.ID()], m.best)
+		}
+	}
+	return false
+}
+
+func (m *mergeMachine) stepConv(in sim.Input) bool {
+	if !m.b.Step(in, m.convHandle) {
+		return false
+	}
+	// The pulse: the fragment minima are at the cores. Open the slot loop;
+	// slot 0's broadcast is staged in the pulse round.
+	m.heard = m.heard[:0]
+	m.slotIdx = 0
+	if m.slotOf == 0 {
+		m.broadcastOwn()
+	}
+	m.state = msSlots
+	return false
+}
+
+// broadcastOwn stages this core's mSlot for its assigned slot.
+func (m *mergeMachine) broadcastOwn() {
+	s := mSlot{Valid: m.best.Valid, CurFrag: graph.NodeID(m.curOf(m.initFrag))}
+	if m.best.Valid {
+		s.W, s.Edge, s.TargetCF = m.best.W, m.best.Edge, graph.NodeID(m.curOf(m.best.Target))
+	}
+	m.c.Broadcast(s)
+}
+
+func (m *mergeMachine) stepSlots(in sim.Input) bool {
+	if in.Slot.State == sim.SlotSuccess {
+		if p, ok := in.Slot.Payload.(mSlot); ok && p.Valid {
+			m.heard = append(m.heard, p)
+		}
+	}
+	m.slotIdx++
+	if m.slotIdx < m.k {
+		if m.slotOf == m.slotIdx {
+			m.broadcastOwn()
+		}
+		return false
+	}
+
+	// Local: the minimum per current fragment is an MST edge; merge, in the
+	// same canonical order as every other node.
+	type pick struct {
+		w      graph.Weight
+		edge   int
+		target int
+	}
+	mins := make(map[int]pick)
+	for _, h := range m.heard {
+		cf := int(h.CurFrag)
+		if p, ok := mins[cf]; !ok || h.W < p.w {
+			mins[cf] = pick{w: h.W, edge: h.Edge, target: int(h.TargetCF)}
+		}
+	}
+	cfs := make([]int, 0, len(mins))
+	for cf := range mins {
+		cfs = append(cfs, cf)
+	}
+	sort.Ints(cfs)
+	id := m.c.ID()
+	for _, cf := range cfs {
+		p := mins[cf]
+		m.uf.Union(cf, p.target)
+		e := m.c.Graph().Edge(p.edge)
+		if e.U == id || e.V == id {
+			m.mstEdges[p.edge] = true
+		}
+	}
+	m.phases++
+	if len(mins) == 0 && m.uf.Sets() > 1 {
+		m.c.Failf("no outgoing links heard with %d fragments left", m.uf.Sets())
+	}
+	if m.uf.Sets() > 1 {
+		m.enterConv()
+		return m.stepConv(in)
+	}
+	return m.finish()
+}
+
+// finish records the node's incident MST edges and halts.
+func (m *mergeMachine) finish() bool {
+	if m.phasesOut != nil && m.c.ID() == 0 {
+		*m.phasesOut = m.phases
+	}
+	out := make([]int, 0, len(m.mstEdges))
+	for e := range m.mstEdges {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	m.result = out
+	return true
+}

@@ -1,0 +1,286 @@
+package resolve
+
+// step.go provides the native step-machine forms of the conflict-resolution
+// sub-protocols: the same slot-for-slot automata as the blocking versions in
+// resolve.go, restructured as per-round components a sim.Machine embeds.
+//
+// Usage pattern: the machine calls Begin once, in the round the protocol
+// starts (its broadcasts are staged in that round, exactly like the code a
+// goroutine program runs before the sub-protocol's first Tick), then feeds
+// every subsequent round's Input through Poll until it reports done. When
+// Poll reports done the machine continues its own next stage in the same
+// Step call with the same Input — the exact alignment of a goroutine
+// program continuing after the sub-routine returns. Because the only
+// information consumed is the public slot sequence, a component-driven run
+// is transcript-identical to its blocking counterpart.
+
+import (
+	"repro/internal/sim"
+)
+
+// interval is one id range on the Capetanakis splitting stack.
+type interval struct{ lo, hi int }
+
+// CapetanakisStep is the per-round form of CapetanakisBounded (and, with
+// MaxSlots 0, of Capetanakis). After Poll reports done, Sched holds the
+// schedule and Complete reports whether the resolution finished within the
+// slot budget.
+type CapetanakisStep struct {
+	c *sim.StepCtx
+
+	Sched    []ScheduledItem
+	Complete bool
+
+	idSpace    int
+	contending bool
+	myID       int
+	payload    sim.Payload
+	maxSlots   int
+
+	stack []interval
+	slots int
+}
+
+// NewCapetanakisStep returns the component in its pre-Begin state. The
+// parameters mirror CapetanakisBounded; maxSlots <= 0 means no budget.
+func NewCapetanakisStep(c *sim.StepCtx, idSpace int, contending bool, myID int, payload sim.Payload, maxSlots int) *CapetanakisStep {
+	if idSpace < 1 {
+		idSpace = 1
+	}
+	return &CapetanakisStep{
+		c: c, idSpace: idSpace, contending: contending, myID: myID,
+		payload: payload, maxSlots: maxSlots,
+	}
+}
+
+// Begin stages the first slot's transmission; call it once, in the round
+// the protocol starts. It returns true if the protocol is over before its
+// first slot (a zero slot budget).
+func (s *CapetanakisStep) Begin() (done bool) {
+	s.stack = []interval{{0, s.idSpace}}
+	return s.transmit()
+}
+
+// transmit runs the pre-Tick half of one loop iteration of the blocking
+// form: give up if the budget is spent, finish if the stack is empty,
+// otherwise contend in the top interval.
+func (s *CapetanakisStep) transmit() (done bool) {
+	if len(s.stack) == 0 {
+		s.Complete = true
+		return true
+	}
+	if s.maxSlots > 0 && s.slots >= s.maxSlots {
+		return true
+	}
+	top := s.stack[len(s.stack)-1]
+	if s.contending && s.myID >= top.lo && s.myID < top.hi {
+		s.c.Broadcast(wire{ID: s.myID, Data: s.payload})
+	}
+	return false
+}
+
+// Poll consumes one slot outcome and stages the next slot's transmission.
+// When it reports done the caller proceeds in the same round.
+func (s *CapetanakisStep) Poll(in sim.Input) (done bool) {
+	s.slots++
+	top := s.stack[len(s.stack)-1]
+	switch in.Slot.State {
+	case sim.SlotIdle:
+		s.stack = s.stack[:len(s.stack)-1]
+	case sim.SlotSuccess:
+		w := in.Slot.Payload.(wire)
+		s.Sched = append(s.Sched, ScheduledItem{ID: w.ID, Payload: w.Data})
+		if s.contending && w.ID == s.myID {
+			s.contending = false
+		}
+		s.stack = s.stack[:len(s.stack)-1]
+	case sim.SlotCollision:
+		mid := top.lo + (top.hi-top.lo)/2
+		s.stack[len(s.stack)-1] = interval{mid, top.hi}
+		s.stack = append(s.stack, interval{top.lo, mid})
+	}
+	return s.transmit()
+}
+
+// ElectionStep is the per-round form of Election: the bit-by-bit
+// deterministic leader election of §2. After Poll reports done, Leader and
+// OK hold the result.
+type ElectionStep struct {
+	c *sim.StepCtx
+
+	Leader int
+	OK     bool
+
+	idSpace    int
+	contending bool
+	myID       int
+
+	surviving bool
+	bit       int // bit index awaiting its slot outcome; -1 = liveness slot
+}
+
+// NewElectionStep returns the component in its pre-Begin state.
+func NewElectionStep(c *sim.StepCtx, idSpace int, contending bool, myID int) *ElectionStep {
+	return &ElectionStep{c: c, idSpace: idSpace, contending: contending, myID: myID, bit: -1}
+}
+
+// Begin stages the liveness slot's transmission.
+func (s *ElectionStep) Begin() {
+	if s.contending {
+		s.c.Busy()
+	}
+}
+
+// Poll consumes one slot outcome and stages the next bit's transmission.
+func (s *ElectionStep) Poll(in sim.Input) (done bool) {
+	if s.bit == -1 {
+		// Liveness outcome: an idle slot means no contenders.
+		if in.Slot.State == sim.SlotIdle {
+			return true
+		}
+		s.OK = true
+		s.surviving = s.contending
+		bits := 0
+		for 1<<bits < s.idSpace {
+			bits++
+		}
+		s.bit = bits // decremented to the first data bit below
+	} else {
+		if in.Slot.State != sim.SlotIdle {
+			s.Leader |= 1 << s.bit
+			if s.surviving && s.myID&(1<<s.bit) == 0 {
+				s.surviving = false
+			}
+		}
+	}
+	s.bit--
+	if s.bit < 0 {
+		return true
+	}
+	if s.surviving && s.myID&(1<<s.bit) != 0 {
+		s.c.Busy()
+	}
+	return false
+}
+
+// GreenbergLadnerStep is the per-round form of GreenbergLadner: the §7.4
+// randomized size estimator. After Poll reports done, Estimate holds 2^k.
+// The RNG draw order matches the blocking form exactly.
+type GreenbergLadnerStep struct {
+	c *sim.StepCtx
+
+	Estimate int64
+
+	participating bool
+	i             int
+}
+
+// NewGreenbergLadnerStep returns the component in its pre-Begin state.
+func NewGreenbergLadnerStep(c *sim.StepCtx, participating bool) *GreenbergLadnerStep {
+	return &GreenbergLadnerStep{c: c, participating: participating}
+}
+
+// Begin stages the first probe's transmission.
+func (s *GreenbergLadnerStep) Begin() { s.transmit() }
+
+func (s *GreenbergLadnerStep) transmit() {
+	s.i++
+	p := 1.0
+	for j := 0; j < s.i; j++ {
+		p /= 2
+	}
+	if s.participating && s.c.Rand().Float64() < p {
+		s.c.Busy()
+	}
+}
+
+// Poll consumes one probe outcome and stages the next probe.
+func (s *GreenbergLadnerStep) Poll(in sim.Input) (done bool) {
+	if in.Slot.State == sim.SlotIdle {
+		s.Estimate = int64(1) << uint(min(s.i, 62))
+		return true
+	}
+	s.transmit()
+	return false
+}
+
+// MetcalfeBoggsStep is the per-round form of MetcalfeBoggs: randomized
+// contention resolution with paired data/liveness slots. After Poll reports
+// done, Sched holds the schedule and Done whether every contender was
+// scheduled within the pair budget.
+type MetcalfeBoggsStep struct {
+	c *sim.StepCtx
+
+	Sched []ScheduledItem
+	Done  bool
+
+	contending bool
+	myID       int
+	payload    sim.Payload
+	maxPairs   int
+
+	khat     int
+	pair     int
+	liveness bool // the outcome being awaited is a liveness slot
+}
+
+// NewMetcalfeBoggsStep returns the component in its pre-Begin state; the
+// parameters mirror MetcalfeBoggs.
+func NewMetcalfeBoggsStep(c *sim.StepCtx, estimate int, contending bool, myID int, payload sim.Payload, maxPairs int) *MetcalfeBoggsStep {
+	khat := estimate
+	if khat < 1 {
+		khat = 1
+	}
+	return &MetcalfeBoggsStep{c: c, khat: khat, contending: contending, myID: myID, payload: payload, maxPairs: maxPairs}
+}
+
+// Begin stages the first contend slot. It returns true if the pair budget
+// is zero.
+func (s *MetcalfeBoggsStep) Begin() (done bool) { return s.contend() }
+
+// contend stages one contend-slot transmission, or finishes if the pair
+// budget is spent.
+func (s *MetcalfeBoggsStep) contend() (done bool) {
+	if s.maxPairs > 0 && s.pair >= s.maxPairs {
+		return true
+	}
+	if s.contending && s.c.Rand().Float64() < 1/float64(s.khat) {
+		s.c.Broadcast(wire{ID: s.myID, Data: s.payload})
+	}
+	s.liveness = false
+	return false
+}
+
+// Poll consumes one slot outcome and stages the next transmission.
+func (s *MetcalfeBoggsStep) Poll(in sim.Input) (done bool) {
+	if !s.liveness {
+		switch in.Slot.State {
+		case sim.SlotSuccess:
+			w := in.Slot.Payload.(wire)
+			s.Sched = append(s.Sched, ScheduledItem{ID: w.ID, Payload: w.Data})
+			if s.contending && w.ID == s.myID {
+				s.contending = false
+			}
+			if s.khat > 1 {
+				s.khat--
+			}
+		case sim.SlotCollision:
+			s.khat *= 2
+		case sim.SlotIdle:
+			if s.khat > 1 {
+				s.khat /= 2
+			}
+		}
+		if s.contending {
+			s.c.Busy()
+		}
+		s.liveness = true
+		return false
+	}
+	if in.Slot.State == sim.SlotIdle {
+		s.Done = true
+		return true
+	}
+	s.pair++
+	return s.contend()
+}

@@ -1,0 +1,162 @@
+package resolve
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// withEngine runs f with the process default engine switched.
+func withEngine(t *testing.T, e sim.Engine, f func()) {
+	t.Helper()
+	old := sim.DefaultEngine
+	sim.DefaultEngine = e
+	defer func() { sim.DefaultEngine = old }()
+	f()
+}
+
+// TestElectEngineEquivalence: the native election machine must elect the
+// same leader with identical metrics as the blocking form.
+func TestElectEngineEquivalence(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 33, 64} {
+		g, err := graph.Ring(max(n, 3), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var goLeader, stLeader int
+		var goMet, stMet sim.Metrics
+		withEngine(t, sim.EngineGoroutine, func() { goLeader, goMet, err = Elect(g, 1) })
+		if err != nil {
+			t.Fatalf("n=%d goroutine: %v", n, err)
+		}
+		withEngine(t, sim.EngineStep, func() { stLeader, stMet, err = Elect(g, 1) })
+		if err != nil {
+			t.Fatalf("n=%d step: %v", n, err)
+		}
+		if goLeader != stLeader || !reflect.DeepEqual(goMet, stMet) {
+			t.Errorf("n=%d diverges: goroutine (%d, %+v) step (%d, %+v)",
+				n, goLeader, goMet, stLeader, stMet)
+		}
+		if want := g.N() - 1; goLeader != want {
+			t.Errorf("n=%d leader = %d, want max id %d", n, goLeader, want)
+		}
+	}
+}
+
+// capProbe runs Capetanakis with a subset of contenders on both engines and
+// compares schedule and metrics.
+func TestCapetanakisStepEquivalence(t *testing.T) {
+	g, err := graph.Ring(24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contender := func(id graph.NodeID) bool { return id%3 == 0 }
+
+	goRes, err := sim.Run(g, func(c *sim.Ctx) error {
+		sched, _ := Capetanakis(c, sim.Input{}, c.N(), contender(c.ID()), int(c.ID()), int(c.ID())*10)
+		c.SetResult(sched)
+		return nil
+	}, sim.WithSeed(1), sim.WithEngine(sim.EngineGoroutine))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stRes, err := sim.RunStep(g, func(c *sim.StepCtx) sim.Machine {
+		return &capTestMachine{c: c, s: NewCapetanakisStep(c, c.N(), contender(c.ID()), int(c.ID()), int(c.ID())*10, 0)}
+	}, sim.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(goRes.Results, stRes.Results) {
+		t.Errorf("schedules diverge:\n goroutine: %#v\n step:      %#v", goRes.Results, stRes.Results)
+	}
+	if !reflect.DeepEqual(goRes.Metrics, stRes.Metrics) {
+		t.Errorf("metrics diverge:\n goroutine: %+v\n step:      %+v", goRes.Metrics, stRes.Metrics)
+	}
+}
+
+type capTestMachine struct {
+	c     *sim.StepCtx
+	s     *CapetanakisStep
+	sched any
+}
+
+func (m *capTestMachine) Step(in sim.Input) bool {
+	if in.Round == 0 {
+		if m.s.Begin() {
+			m.sched = m.s.Sched
+			return true
+		}
+		return false
+	}
+	if !m.s.Poll(in) {
+		return false
+	}
+	m.sched = m.s.Sched
+	return true
+}
+
+func (m *capTestMachine) Result() any { return m.sched }
+
+// TestMetcalfeBoggsStepEquivalence compares the randomized contention
+// component draw-for-draw with the blocking form.
+func TestMetcalfeBoggsStepEquivalence(t *testing.T) {
+	g, err := graph.Ring(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 7, 99} {
+		goRes, err := sim.Run(g, func(c *sim.Ctx) error {
+			sched, done, _ := MetcalfeBoggs(c, sim.Input{}, 4, c.ID()%2 == 0, int(c.ID()), nil, 0)
+			c.SetResult([]any{sched, done})
+			return nil
+		}, sim.WithSeed(seed), sim.WithEngine(sim.EngineGoroutine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stRes, err := sim.RunStep(g, func(c *sim.StepCtx) sim.Machine {
+			return &mbTestMachine{s: NewMetcalfeBoggsStep(c, 4, c.ID()%2 == 0, int(c.ID()), nil, 0)}
+		}, sim.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(goRes.Results, stRes.Results) {
+			t.Errorf("seed %d: schedules diverge", seed)
+		}
+		if !reflect.DeepEqual(goRes.Metrics, stRes.Metrics) {
+			t.Errorf("seed %d: metrics diverge:\n goroutine: %+v\n step:      %+v", seed, goRes.Metrics, stRes.Metrics)
+		}
+	}
+}
+
+type mbTestMachine struct {
+	s   *MetcalfeBoggsStep
+	out any
+}
+
+func (m *mbTestMachine) Step(in sim.Input) bool {
+	if in.Round == 0 {
+		if m.s.Begin() {
+			m.out = []any{m.s.Sched, m.s.Done}
+			return true
+		}
+		return false
+	}
+	if !m.s.Poll(in) {
+		return false
+	}
+	m.out = []any{m.s.Sched, m.s.Done}
+	return true
+}
+
+func (m *mbTestMachine) Result() any { return m.out }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -70,13 +70,13 @@ func (m *goroutineMachine) runProgram() {
 			if err, ok := r.(error); ok && errors.Is(err, errAborted) {
 				// Clean abort unwind; the primary error is already recorded.
 			} else {
-				m.sc.eng.recordErr(fmt.Errorf("sim: node %d panicked: %v", m.ctx.id, r))
+				m.sc.eng.recordErr(m.ctx.id, fmt.Errorf("sim: node %d panicked: %v", m.ctx.id, r))
 			}
 		}
 		m.ctx.done <- false
 	}()
 	if err := m.program(m.ctx); err != nil {
-		m.sc.eng.recordErr(fmt.Errorf("sim: node %d: %w", m.ctx.id, err))
+		m.sc.eng.recordErr(m.ctx.id, fmt.Errorf("sim: node %d: %w", m.ctx.id, err))
 	}
 }
 

@@ -474,13 +474,18 @@ func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) 
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
+		errNode  graph.NodeID
 		firstErr error
 	)
-	recordErr := func(err error) {
+	// Errors compete only within one round (the run aborts at its end), so
+	// keeping the lowest-node error makes the reported failure independent
+	// of goroutine scheduling — part of the determinism contract, mirrored
+	// by the step engine. Engine-level errors record as node -1.
+	recordErr := func(node graph.NodeID, err error) {
 		errMu.Lock()
 		defer errMu.Unlock()
-		if firstErr == nil {
-			firstErr = err
+		if firstErr == nil || node < errNode {
+			errNode, firstErr = node, err
 		}
 	}
 
@@ -494,13 +499,13 @@ func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) 
 					if err, ok := r.(error); ok && errors.Is(err, errAborted) {
 						// Clean abort unwind; the primary error is already recorded.
 					} else {
-						recordErr(fmt.Errorf("sim: node %d panicked: %v", ctx.id, r))
+						recordErr(ctx.id, fmt.Errorf("sim: node %d panicked: %v", ctx.id, r))
 					}
 				}
 				ctx.done <- false
 			}()
 			if err := program(ctx); err != nil {
-				recordErr(fmt.Errorf("sim: node %d: %w", ctx.id, err))
+				recordErr(ctx.id, fmt.Errorf("sim: node %d: %w", ctx.id, err))
 			}
 		}()
 	}
@@ -631,7 +636,7 @@ func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) 
 		failed := firstErr != nil
 		errMu.Unlock()
 		if !failed && round+1 > cfg.maxRounds {
-			recordErr(fmt.Errorf("%w: budget %d", ErrMaxRounds, cfg.maxRounds))
+			recordErr(-1, fmt.Errorf("%w: budget %d", ErrMaxRounds, cfg.maxRounds))
 			failed = true
 		}
 		if failed {

@@ -96,7 +96,10 @@ var DefaultWorkers = 0
 // valid during the call.
 //
 // Result is the result hook: it is called once, when the node halts, and
-// its value lands in the run's Result.Results slot for the node.
+// its value lands in the run's Result.Results slot for the node. A node
+// crash-stopped by fault injection records a nil result instead — it never
+// reached its halt, mirroring a goroutine program that never called
+// SetResult.
 type Machine interface {
 	Step(in Input) (halt bool)
 	Result() any
@@ -146,6 +149,7 @@ type StepCtx struct {
 	chPending bool
 
 	asleep    bool // set by Sleep, cleared before every Step
+	pulseWake bool // set by SleepUntilPulse: also wake on an idle slot
 	scheduled bool // already on some shard's awake list for the next round
 	halted    bool
 	machine   Machine
@@ -254,6 +258,17 @@ func (c *StepCtx) SentThisRound() bool { return len(c.out) > 0 }
 // engine detects the fully quiescent case and fails the run.
 func (c *StepCtx) Sleep() { c.asleep = true }
 
+// SleepUntilPulse parks this node like Sleep, but additionally wakes it on
+// the barrier pulse: the first round whose input carries an idle slot
+// (Input.IsPulse). It is the sparse-activation primitive for protocols
+// synchronized by the §7.1 channel barrier — a node that is passive within a
+// barrier step (it will act again only on a message or when the step
+// globally terminates) may park instead of observing every busy slot, which
+// turns O(n · rounds) barrier phases into O(work). A node woken by a message
+// before the pulse is stepped normally; if it parks again it must call
+// SleepUntilPulse again.
+func (c *StepCtx) SleepUntilPulse() { c.asleep = true; c.pulseWake = true }
+
 // failError carries a protocol-level failure out of a Machine via panic;
 // the engine records it verbatim instead of as a node panic.
 type failError struct{ err error }
@@ -276,6 +291,12 @@ type stepShard struct {
 	awake []int32 // nodes to step this round; survivors + woken for the next
 	next  []int32 // scratch for building the survivor list
 
+	// Nodes of this shard parked by SleepUntilPulse, woken in the delivery
+	// phase of the first round whose slot resolved idle. Entries are lazily
+	// invalidated: a node woken early by a message clears its pulseWake flag
+	// on its next step, so stale entries are skipped when the pulse fires.
+	pulseSleepers []int32
+
 	out     [][]delivered // staged messages, bucketed by destination shard
 	touched []int32       // nodes that received mail this round (sort + reuse)
 
@@ -294,8 +315,6 @@ type stepShard struct {
 	faultDrops    int64
 	delayed       int64
 	duped         int64
-
-	cur graph.NodeID // node being stepped, for panic attribution
 }
 
 const (
@@ -325,11 +344,13 @@ type stepEngine struct {
 
 	round      int
 	slot       Slot
+	pulseFired bool // this round's slot resolved idle (after jamming)
 	continuing bool
 	alive      int
 	met        Metrics
 
 	errMu    sync.Mutex
+	errNode  graph.NodeID
 	firstErr error
 
 	workCh []chan int8
@@ -483,6 +504,7 @@ func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes
 			}
 		}
 		e.slot = slot
+		e.pulseFired = slot.State == SlotIdle
 
 		// Crash-stop the nodes scheduled to fail before observing round+1.
 		// Their round-round sends (staged above) are still delivered;
@@ -492,18 +514,22 @@ func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes
 			if sc.halted {
 				continue
 			}
+			// A crash-stopped node records no result — it never reached its
+			// halt — except through the goroutine adapter, whose program may
+			// have called SetResult before the crash (the goroutine engine
+			// keeps that partial value, so the adapter must too).
 			if ab, ok := sc.machine.(aborter); ok {
 				ab.abortRun()
+				sc.result = sc.machine.Result()
 			}
 			sc.halted = true
-			sc.result = sc.machine.Result()
 			e.alive--
 			e.met.Crashed++
 		}
 
 		failed := e.err() != nil
 		if e.alive > 0 && !failed && round+1 > e.cfg.maxRounds {
-			e.recordErr(fmt.Errorf("%w: budget %d", ErrMaxRounds, e.cfg.maxRounds))
+			e.recordErr(-1, fmt.Errorf("%w: budget %d", ErrMaxRounds, e.cfg.maxRounds))
 			failed = true
 		}
 		e.continuing = e.alive > 0 && !failed
@@ -528,15 +554,15 @@ func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes
 			break
 		}
 		awakeTotal = 0
-		pendingTotal := 0
 		for i := range e.shards {
 			awakeTotal += len(e.shards[i].awake)
-			pendingTotal += e.shards[i].pendingN
 		}
-		if awakeTotal == 0 && pendingTotal == 0 {
-			e.recordErr(fmt.Errorf("sim: quiescent network: %d live nodes all asleep with no message in flight", e.alive))
-			break
-		}
+		// A fully parked network is not special-cased: empty rounds cost
+		// O(shards) each, slots resolve idle (waking any pulse-parked
+		// nodes), and a genuine wedge — everyone asleep with no message
+		// ever due — spins to the same ErrMaxRounds, with the same metrics,
+		// that the goroutine form of the protocol reports. Faulted outcomes
+		// therefore stay bit-identical across engines.
 	}
 
 	e.abortMachines()
@@ -564,6 +590,9 @@ func (e *stepEngine) runPhase(phase int8, stepped []int, awakeTotal int) {
 			// messages due this round need draining.
 			for d := range e.shards {
 				need := e.shards[d].pendingN > 0 && len(e.shards[d].pending[e.round+1]) > 0
+				if e.pulseFired && len(e.shards[d].pulseSleepers) > 0 {
+					need = true
+				}
 				for _, si := range stepped {
 					if need {
 						break
@@ -617,12 +646,17 @@ func (e *stepEngine) stopWorkers() {
 
 // stepShard runs the compute phase for one shard: step every awake machine,
 // stage its sends into the per-destination buckets, and summarize channel
-// writes and halts. A machine panic is recorded and aborts the run after
-// this round.
+// writes and halts. A machine panic is recorded against its node and halts
+// that node; the rest of the round still runs everywhere (as it does on the
+// goroutine engine), and the run aborts at the round's end with the
+// lowest-node error.
 func (e *stepEngine) stepShard(s *stepShard) {
 	defer func() {
+		// Machine panics are handled per node in stepNode; this catches
+		// engine-infrastructure failures in the staging loop itself, which
+		// would otherwise kill a bare worker goroutine.
 		if r := recover(); r != nil {
-			e.recordErr(nodeFailure(s.cur, r))
+			e.recordErr(1<<31-1, fmt.Errorf("sim: step phase of shard [%d,%d) panicked: %v", s.lo, s.hi, r))
 		}
 	}()
 	s.writers = 0
@@ -635,16 +669,18 @@ func (e *stepEngine) stepShard(s *stepShard) {
 			// Crash-stopped between being scheduled and this round.
 			continue
 		}
-		s.cur = sc.id
 		sc.scheduled = false
 		sc.asleep = false
+		sc.pulseWake = false
 		sc.round = round
-		halt := sc.machine.Step(Input{Round: round, Msgs: e.inbox[v], Slot: slot})
+		halt, panicked := e.stepNode(sc, Input{Round: round, Msgs: e.inbox[v], Slot: slot})
 		if e.reuse {
 			e.inbox[v] = e.inbox[v][:0]
 		} else {
 			e.inbox[v] = nil
 		}
+		// Sends and channel writes staged before a panic are still
+		// committed, exactly as a goroutine program's are.
 		if sc.chPending {
 			s.writers++
 			s.writerID = sc.id
@@ -663,18 +699,40 @@ func (e *stepEngine) stepShard(s *stepShard) {
 			sc.out = sc.out[:0]
 		}
 		switch {
+		case panicked:
+			// The errored node leaves the run, like an errored program.
+			sc.halted = true
+			s.halts++
 		case halt:
 			sc.halted = true
 			sc.result = sc.machine.Result()
 			s.halts++
 		case sc.asleep:
-			// Parked until a message wakes it.
+			// Parked until a message (or, with pulseWake, an idle slot)
+			// wakes it.
+			if sc.pulseWake {
+				s.pulseSleepers = append(s.pulseSleepers, v)
+			}
 		default:
 			sc.scheduled = true
 			s.next = append(s.next, v)
 		}
 	}
 	s.awake, s.next = s.next, s.awake
+}
+
+// stepNode steps one machine, converting a panic into the node's recorded
+// failure.
+func (e *stepEngine) stepNode(sc *StepCtx, in Input) (halt, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			if err := nodeFailure(sc.id, r); err != nil {
+				e.recordErr(sc.id, err)
+			}
+		}
+	}()
+	return sc.machine.Step(in), false
 }
 
 // deliverShard runs the delivery phase for one destination shard: deposit
@@ -686,10 +744,28 @@ func (e *stepEngine) deliverShard(d int) {
 	sd := &e.shards[d]
 	defer func() {
 		if r := recover(); r != nil {
-			e.recordErr(fmt.Errorf("sim: delivery to shard %d panicked: %v", d, r))
+			e.recordErr(1<<31-1, fmt.Errorf("sim: delivery to shard %d panicked: %v", d, r))
 		}
 	}()
 	deliverRound := e.round + 1
+	if e.pulseFired && len(sd.pulseSleepers) > 0 {
+		// The slot resolved idle: wake this shard's pulse-parked nodes so
+		// they observe the pulse next round. Entries whose pulseWake flag is
+		// gone were woken early by a message and already stepped since.
+		for _, v := range sd.pulseSleepers {
+			sc := &e.nodes[v]
+			if sc.halted || !sc.pulseWake {
+				continue
+			}
+			sc.pulseWake = false
+			if !sc.scheduled {
+				sc.scheduled = true
+				sc.asleep = false
+				sd.awake = append(sd.awake, v)
+			}
+		}
+		sd.pulseSleepers = sd.pulseSleepers[:0]
+	}
 	if sd.pendingN > 0 {
 		if late := sd.pending[deliverRound]; len(late) > 0 {
 			delete(sd.pending, deliverRound)
@@ -782,11 +858,16 @@ func (e *stepEngine) abortMachines() {
 	}
 }
 
-func (e *stepEngine) recordErr(err error) {
+// recordErr keeps the lowest-node error of the failing round, so the
+// reported failure is independent of the worker count and identical to the
+// goroutine engine's — errors compete only within one round, because the
+// run aborts at its end. Engine-level errors record as node -1; per-shard
+// infrastructure failures as node MaxInt32 (never outranking a node).
+func (e *stepEngine) recordErr(node graph.NodeID, err error) {
 	e.errMu.Lock()
 	defer e.errMu.Unlock()
-	if e.firstErr == nil {
-		e.firstErr = err
+	if e.firstErr == nil || node < e.errNode {
+		e.errNode, e.firstErr = node, err
 	}
 }
 

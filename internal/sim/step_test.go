@@ -176,15 +176,18 @@ func TestStepSleepWave(t *testing.T) {
 	}
 }
 
-func TestStepQuiescenceDetected(t *testing.T) {
+func TestStepQuiescenceHitsBudget(t *testing.T) {
+	// Everyone sleeps forever with no message ever due: the wedge spins
+	// cheap empty rounds to the same ErrMaxRounds the goroutine engine
+	// reports for the equivalent blocked program.
 	_, err := RunStep(ring(t, 4), func(c *StepCtx) Machine {
 		return &stepFuncs{step: func(Input) bool {
-			c.Sleep() // everyone sleeps forever; no message is ever sent
+			c.Sleep()
 			return false
 		}}
-	})
-	if err == nil || !strings.Contains(err.Error(), "quiescent") {
-		t.Fatalf("err = %v, want quiescence error", err)
+	}, WithMaxRounds(50))
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
 	}
 }
 

@@ -9,6 +9,15 @@ package sim
 // synchronous-delivery argument of barrier.go means the step has terminated
 // at every node. As with BarrierStep, the pulse round's input carries no
 // messages and must be handed to whatever the machine does next.
+//
+// A node that is passive in a round — handle reported inactive and staged
+// neither sends nor a channel write — is parked with SleepUntilPulse: within
+// a barrier step such a node can only be reactivated by a message or by the
+// step's global termination, so skipping the busy slots in between changes
+// nothing observable and makes whole phases cost O(work) instead of
+// O(n · rounds). Handlers must honor that contract: all state changes of a
+// passive node must be driven by incoming messages, never by counting
+// rounds.
 type StepBarrier struct {
 	c     *StepCtx
 	armed bool
@@ -23,15 +32,19 @@ func NewStepBarrier(c *StepCtx) *StepBarrier { return &StepBarrier{c: c} }
 // active; nodes that sent are treated as active regardless, which
 // guarantees no message is in flight when the barrier fires. It returns
 // true — without calling handle — on the round the pulse arrives, leaving
-// the barrier reset for the next step.
+// the barrier reset for the next step. On a false return the machine must
+// return from its own Step immediately (the node may have been parked).
 func (b *StepBarrier) Step(in Input, handle func(Input) bool) (done bool) {
 	if b.armed && in.IsPulse() {
 		b.armed = false
 		return true
 	}
 	active := handle(in)
-	if active || b.c.SentThisRound() {
+	switch {
+	case active || b.c.SentThisRound():
 		b.c.Busy()
+	case !b.c.chPending:
+		b.c.SleepUntilPulse()
 	}
 	b.armed = true
 	return false
