@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-quick chaos fuzz golden ci
+.PHONY: build vet test test-short test-race bench bench-check bench-quick chaos fuzz golden ci
 
 ## build: compile every package (the tier-1 gate's first half)
 build:
@@ -30,6 +30,12 @@ chaos:
 ## machine-readably in BENCH_engines.json for commit-over-commit tracking
 bench:
 	$(GO) run ./cmd/mmbench -full -out BENCH_engines.json
+
+## bench-check: quick benchmark subset diffed against the committed
+## BENCH_engines.json; fails on any >25% nodes/sec regression (scale rows
+## only compare when node counts match — run `make bench` for those)
+bench-check:
+	$(GO) run ./cmd/mmbench -compare BENCH_engines.json -out /tmp/bench-check.json
 
 ## bench-quick: one pass of the engine-comparison benchmarks
 bench-quick:

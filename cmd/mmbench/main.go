@@ -4,17 +4,23 @@
 //
 // Two kinds of rows:
 //
-//   - testing.Benchmark rows (relay round-throughput on each engine, native
-//     census) with ns/op and allocs/op;
+//   - testing.Benchmark rows (relay round-throughput on each engine — the
+//     step engine natively at several worker counts) with ns/op and
+//     allocs/op;
 //   - scale rows (the E11 configurations: native MST merge, BFS forest +
 //     coloring, census — each on a big ring) timed as single runs, with
 //     nodes/sec derived from the wall clock.
+//
+// The -compare flag turns mmbench into a regression gate: current results
+// are diffed row by row against a committed report and any >25% nodes/sec
+// regression fails the run (`make bench-check`, CI's perf-smoke job).
 //
 // Usage:
 //
 //	mmbench                        # moderate sizes (~10⁵), seconds
 //	mmbench -full                  # 10⁶-node scale rows (minutes)
 //	mmbench -out BENCH_engines.json
+//	mmbench -compare BENCH_engines.json -out /tmp/bench.json
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 type Row struct {
 	Name        string  `json:"name"`
 	Nodes       int     `json:"nodes"`
+	Workers     int     `json:"workers,omitempty"` // step-engine worker count (0: engine default)
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	NodesPerSec float64 `json:"nodes_per_sec"`
@@ -88,9 +95,10 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mmbench", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		out   = fs.String("out", "BENCH_engines.json", "output file ('-' for stdout)")
-		full  = fs.Bool("full", false, "run the 10⁶-node scale rows (minutes)")
-		nodes = fs.Int("n", 100_000, "node count for the relay/census benchmark rows")
+		out     = fs.String("out", "BENCH_engines.json", "output file ('-' for stdout)")
+		full    = fs.Bool("full", false, "run the 10⁶-node scale rows (minutes)")
+		nodes   = fs.Int("n", 100_000, "node count for the relay/census benchmark rows")
+		compare = fs.String("compare", "", "baseline report to diff against; >25% nodes/sec regression fails")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,8 +111,11 @@ func run(args []string, w io.Writer) error {
 	}
 
 	// Round-throughput rows: the same fixed-round relay protocol on the
-	// goroutine engine, the step engine through the adapter, and natively.
-	relay := func(name string, run func() (*sim.Result, error)) error {
+	// goroutine engine, the step engine through the adapter, and natively
+	// at several worker counts (the sense-reversing barrier is what makes
+	// workers >1 worthwhile; on a single-core host the extra rows measure
+	// its oversubscription overhead instead).
+	relay := func(name string, workers int, run func() (*sim.Result, error)) error {
 		var rounds int
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -116,7 +127,8 @@ func run(args []string, w io.Writer) error {
 			}
 		})
 		rep.Rows = append(rep.Rows, Row{
-			Name: name, Nodes: *nodes, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(),
+			Name: name, Nodes: *nodes, Workers: workers,
+			NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(),
 			NodesPerSec: float64(*nodes) * float64(rounds) / (float64(r.NsPerOp()) / 1e9),
 			Rounds:      rounds,
 			Note:        "node-rounds/sec over a 20-round all-nodes relay",
@@ -124,20 +136,32 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "%-32s %12d ns/op %10d allocs/op\n", name, r.NsPerOp(), r.AllocsPerOp())
 		return nil
 	}
-	if err := relay("relay/goroutine", func() (*sim.Result, error) {
+	if err := relay("relay/goroutine", 0, func() (*sim.Result, error) {
 		return sim.Run(ring, relayProgram, sim.WithEngine(sim.EngineGoroutine))
 	}); err != nil {
 		return err
 	}
-	if err := relay("relay/step-adapter", func() (*sim.Result, error) {
-		return sim.Run(ring, relayProgram, sim.WithEngine(sim.EngineStep))
+	if err := relay("relay/step-adapter", 1, func() (*sim.Result, error) {
+		return sim.Run(ring, relayProgram, sim.WithEngine(sim.EngineStep), sim.WithWorkers(1))
 	}); err != nil {
 		return err
 	}
-	if err := relay("relay/step-native", func() (*sim.Result, error) {
-		return sim.RunStep(ring, func(c *sim.StepCtx) sim.Machine { return relayMachine{c: c} })
+	if err := relay("relay/step-adapter-w4", 4, func() (*sim.Result, error) {
+		return sim.Run(ring, relayProgram, sim.WithEngine(sim.EngineStep), sim.WithWorkers(4))
 	}); err != nil {
 		return err
+	}
+	for _, workers := range []int{1, 4, 8} {
+		name := "relay/step-native"
+		if workers > 1 {
+			name = fmt.Sprintf("relay/step-native-w%d", workers)
+		}
+		if err := relay(name, workers, func() (*sim.Result, error) {
+			return sim.RunStep(ring, func(c *sim.StepCtx) sim.Machine { return relayMachine{c: c} },
+				sim.WithWorkers(workers))
+		}); err != nil {
+			return err
+		}
 	}
 
 	// Scale rows: the E11 configurations, one timed run each on the step
@@ -156,13 +180,78 @@ func run(args []string, w io.Writer) error {
 	}
 	data = append(data, '\n')
 	if *out == "-" {
-		_, err = w.Write(data)
-		return err
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d rows)\n", *out, len(rep.Rows))
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		return err
+
+	if *compare != "" {
+		return compareReports(w, rep, *compare)
 	}
-	fmt.Fprintf(w, "wrote %s (%d rows)\n", *out, len(rep.Rows))
+	return nil
+}
+
+// regressionTolerance: a row fails the -compare gate when its nodes/sec
+// drops below this fraction of the baseline's, or its allocs/op grow
+// beyond 1/fraction of the baseline's.
+const regressionTolerance = 0.75
+
+// compareReports diffs the fresh report against a committed baseline. Rows
+// are matched by name; rows whose node counts differ (e.g. quick-mode scale
+// rows against a -full baseline) are skipped, new rows pass by default, and
+// any matched row slower than regressionTolerance × baseline fails. The
+// allocs/op check is the machine-independent half of the gate: wall-clock
+// rows wobble with the runner's hardware and load, but a steady-state
+// allocation regression reproduces exactly everywhere.
+func compareReports(w io.Writer, cur *Report, baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("compare baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("compare baseline %s: %w", baselinePath, err)
+	}
+	baseRows := make(map[string]Row, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[r.Name] = r
+	}
+	var regressions []string
+	for _, r := range cur.Rows {
+		b, ok := baseRows[r.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "compare: %-32s NEW (no baseline row)\n", r.Name)
+		case b.Nodes != r.Nodes:
+			fmt.Fprintf(w, "compare: %-32s skipped (n=%d vs baseline n=%d)\n", r.Name, r.Nodes, b.Nodes)
+		case b.NodesPerSec <= 0:
+			fmt.Fprintf(w, "compare: %-32s skipped (degenerate baseline)\n", r.Name)
+		default:
+			ratio := r.NodesPerSec / b.NodesPerSec
+			verdict := "ok"
+			if ratio < regressionTolerance {
+				verdict = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f -> %.0f nodes/sec (%.2fx)", r.Name, b.NodesPerSec, r.NodesPerSec, ratio))
+			}
+			if b.AllocsPerOp > 0 && float64(r.AllocsPerOp) > float64(b.AllocsPerOp)/regressionTolerance {
+				verdict = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %d -> %d allocs/op", r.Name, b.AllocsPerOp, r.AllocsPerOp))
+			}
+			fmt.Fprintf(w, "compare: %-32s %.2fx baseline  %s\n", r.Name, ratio, verdict)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d row(s) regressed >%.0f%% vs %s: %v",
+			len(regressions), (1-regressionTolerance)*100, baselinePath, regressions)
+	}
+	fmt.Fprintf(w, "compare: no row regressed >%.0f%% vs %s\n", (1-regressionTolerance)*100, baselinePath)
 	return nil
 }
 
@@ -182,7 +271,10 @@ func scaleRows(w io.Writer, rep *Report, n int) error {
 			NodesPerSec: float64(n) / d.Seconds(), Rounds: rounds, Messages: msgs, Note: note,
 		})
 		fmt.Fprintf(w, "%-32s %12d ns/op  (%d nodes, %.2fs wall)\n", name, d.Nanoseconds(), n, d.Seconds())
+		// Isolate the rows: one row's garbage must not tax the next's clock.
+		runtime.GC()
 	}
+	runtime.GC()
 
 	t0 := time.Now()
 	census, err := size.Census(g, 1)

@@ -5,15 +5,17 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
-// TestBenchReportShape runs the harness at a tiny size and checks the JSON
-// report: every expected row present, sane values.
-func TestBenchReportShape(t *testing.T) {
+// runTiny runs the harness at a tiny size and returns the parsed report.
+func runTiny(t *testing.T, extra ...string) (*Report, string) {
+	t.Helper()
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-n", "2000", "-out", out}, &buf); err != nil {
+	args := append([]string{"-n", "2000", "-out", out}, extra...)
+	if err := run(args, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -24,10 +26,21 @@ func TestBenchReportShape(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
+	return &rep, out
+}
+
+// TestBenchReportShape runs the harness at a tiny size and checks the JSON
+// report: every expected row present (including the multi-worker rows),
+// sane values.
+func TestBenchReportShape(t *testing.T) {
+	rep, _ := runTiny(t)
 	want := map[string]bool{
 		"relay/goroutine":            false,
 		"relay/step-adapter":         false,
+		"relay/step-adapter-w4":      false,
 		"relay/step-native":          false,
+		"relay/step-native-w4":       false,
+		"relay/step-native-w8":       false,
 		"scale/census-step":          false,
 		"scale/forest+coloring-step": false,
 		"scale/mst-merge-step":       false,
@@ -46,5 +59,84 @@ func TestBenchReportShape(t *testing.T) {
 		if !seen {
 			t.Errorf("row %q missing from report", name)
 		}
+	}
+}
+
+// TestCompareGate exercises the -compare regression gate: identical results
+// pass, a doctored much-faster baseline fails, and rows with mismatched
+// node counts or no baseline are skipped rather than failed.
+func TestCompareGate(t *testing.T) {
+	rep, out := runTiny(t)
+
+	// Self-comparison: every row is ~1.00x, no regression.
+	var buf bytes.Buffer
+	if err := compareReports(&buf, rep, out); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no row regressed") {
+		t.Errorf("self-compare output: %s", buf.String())
+	}
+
+	// Doctored baseline: pretend the past was 10x faster everywhere.
+	doctored := *rep
+	doctored.Rows = append([]Row(nil), rep.Rows...)
+	for i := range doctored.Rows {
+		doctored.Rows[i].NodesPerSec *= 10
+	}
+	base := filepath.Join(t.TempDir(), "base.json")
+	data, err := json.Marshal(&doctored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := compareReports(&buf, rep, base); err == nil {
+		t.Fatalf("10x-faster baseline must fail the gate:\n%s", buf.String())
+	} else if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("unexpected gate error: %v", err)
+	}
+
+	// Doctored alloc baseline: pretend the past allocated 10x less.
+	doctored.Rows = append([]Row(nil), rep.Rows...)
+	for i := range doctored.Rows {
+		if doctored.Rows[i].AllocsPerOp > 0 {
+			doctored.Rows[i].AllocsPerOp /= 10
+		}
+	}
+	if data, err = json.Marshal(&doctored); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := compareReports(&buf, rep, base); err == nil {
+		t.Fatalf("10x-leaner alloc baseline must fail the gate:\n%s", buf.String())
+	} else if !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("unexpected alloc gate error: %v", err)
+	}
+
+	// Mismatched node counts and unknown rows are skipped, not failed.
+	doctored.Rows = doctored.Rows[:1]
+	doctored.Rows[0].Nodes++
+	if data, err = json.Marshal(&doctored); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := compareReports(&buf, rep, base); err != nil {
+		t.Fatalf("mismatched-n baseline must be skipped: %v", err)
+	}
+	if !strings.Contains(buf.String(), "skipped") || !strings.Contains(buf.String(), "NEW") {
+		t.Errorf("compare output missing skip/new markers:\n%s", buf.String())
+	}
+
+	// A missing baseline file is a hard error.
+	if err := compareReports(&buf, rep, filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing baseline must error")
 	}
 }

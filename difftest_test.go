@@ -145,6 +145,13 @@ func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(uint8(3), uint8(2), uint8(22), int64(7), int64(9), uint8(1), uint8(4))
 	f.Add(uint8(13), uint8(1), uint8(15), int64(3), int64(2), uint8(2), uint8(2))
 	f.Add(uint8(16), uint8(3), uint8(9), int64(5), int64(5), uint8(1), uint8(5))
+	// census (a sleep/wake wavefront) under network-wide delays: delayed
+	// deliveries park the whole network between wavefront steps, so this
+	// seed drives the step engine's quiescent-round fast-forward.
+	f.Add(uint8(10), uint8(0), uint8(20), int64(2), int64(3), uint8(0), uint8(5))
+	// mst (SleepUntilPulse barriers) under a jam window: pulse wakes that
+	// must survive fast-forwarding over jammed slots.
+	f.Add(uint8(3), uint8(0), uint8(12), int64(4), int64(6), uint8(2), uint8(2))
 	f.Fuzz(func(t *testing.T, protoSel, topoSel, nSel uint8, gseed, seed int64, workerSel, planSel uint8) {
 		if gseed < 0 || seed < 0 {
 			t.Skip("negative seeds normalize to themselves; skip to keep the corpus tidy")

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -53,11 +54,12 @@ type jrule struct {
 // inject nothing; engines may hold a nil *Injector for fault-free runs and
 // skip every hook.
 type Injector struct {
-	seed      int64
-	crashes   map[int][]graph.NodeID // observation round -> nodes crashing
-	edgeRules map[int][]mrule        // per-edge message rules, plan order
-	allRules  []mrule                // wildcard (AllEdges) message rules
-	jams      []jrule
+	seed        int64
+	crashes     map[int][]graph.NodeID // observation round -> nodes crashing
+	crashRounds []int                  // sorted distinct crash rounds (next-event queries)
+	edgeRules   map[int][]mrule        // per-edge message rules, plan order
+	allRules    []mrule                // wildcard (AllEdges) message rules
+	jams        []jrule
 }
 
 // Compile validates the plan against g and builds its injector. A nil or
@@ -116,9 +118,11 @@ func Compile(p *Plan, g *graph.Graph) (*Injector, error) {
 			inj.jams = append(inj.jams, jrule{index: i, from: from, until: until, prob: r.prob()})
 		}
 	}
-	for _, nodes := range inj.crashes {
-		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+	for round, nodes := range inj.crashes {
+		slices.Sort(nodes)
+		inj.crashRounds = append(inj.crashRounds, round)
 	}
+	sort.Ints(inj.crashRounds)
 	return inj, nil
 }
 
@@ -140,6 +144,66 @@ func (inj *Injector) CrashesAt(round int) []graph.NodeID {
 
 // HasCrashes reports whether any crash is scheduled. Nil-safe.
 func (inj *Injector) HasCrashes() bool { return inj != nil && len(inj.crashes) > 0 }
+
+// NextCrashAfter returns the earliest crash round strictly after the given
+// round — the next-event query engines use to fast-forward quiescent
+// stretches. Nil-safe; ok is false when no later crash is scheduled.
+func (inj *Injector) NextCrashAfter(round int) (next int, ok bool) {
+	if inj == nil || len(inj.crashRounds) == 0 {
+		return 0, false
+	}
+	i := sort.SearchInts(inj.crashRounds, round+1)
+	if i == len(inj.crashRounds) {
+		return 0, false
+	}
+	return inj.crashRounds[i], true
+}
+
+// HasJams reports whether any jam rule exists. Nil-safe.
+func (inj *Injector) HasJams() bool { return inj != nil && len(inj.jams) > 0 }
+
+// NextClearSlot returns the earliest round in [from, until] whose slot is
+// not jammed. Without jam rules that is from itself, for free; with them
+// the scan costs one Jammed query per jammed round skipped. Nil-safe, pure,
+// and safe for concurrent use.
+func (inj *Injector) NextClearSlot(from, until int) (round int, ok bool) {
+	if from > until {
+		return 0, false
+	}
+	if !inj.HasJams() {
+		return from, true
+	}
+	for s := from; s <= until; s++ {
+		if !inj.Jammed(s) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// CountJammed returns how many of the slots in [from, until] are jammed —
+// the arithmetic engines need to account for slots they fast-forward over.
+// The scan is clamped to the union of the jam windows, so plans without jam
+// rules (or with windows elsewhere) cost nothing. Nil-safe, pure, and safe
+// for concurrent use.
+func (inj *Injector) CountJammed(from, until int) int64 {
+	if !inj.HasJams() || from > until {
+		return 0
+	}
+	lo, hi := math.MaxInt, 0
+	for i := range inj.jams {
+		lo = min(lo, inj.jams[i].from)
+		hi = max(hi, inj.jams[i].until)
+	}
+	from, until = max(from, lo), min(until, hi)
+	var n int64
+	for s := from; s <= until; s++ {
+		if inj.Jammed(s) {
+			n++
+		}
+	}
+	return n
+}
 
 // HasMsgFaults reports whether any message rule exists, letting engines
 // skip the per-message hook entirely on plans without link faults. Nil-safe.

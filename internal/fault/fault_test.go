@@ -275,3 +275,86 @@ func TestFromFlags(t *testing.T) {
 		t.Errorf("jam rule = %+v", p.Rules[2])
 	}
 }
+
+func TestNextCrashAfter(t *testing.T) {
+	g := testGraph(t)
+	p := (&Plan{Seed: 1}).Add(
+		Rule{Kind: Crash, Node: 2, From: 5},
+		Rule{Kind: Crash, Node: 3, From: 5},
+		Rule{Kind: Crash, Node: 7, From: 40},
+	)
+	inj, err := Compile(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		after int
+		want  int
+		ok    bool
+	}{
+		{0, 5, true}, {4, 5, true}, {5, 40, true}, {39, 40, true}, {40, 0, false},
+	} {
+		if got, ok := inj.NextCrashAfter(tt.after); got != tt.want || ok != tt.ok {
+			t.Errorf("NextCrashAfter(%d) = %d, %v, want %d, %v", tt.after, got, ok, tt.want, tt.ok)
+		}
+	}
+	var nilInj *Injector
+	if _, ok := nilInj.NextCrashAfter(0); ok {
+		t.Error("nil injector reported a crash")
+	}
+}
+
+func TestNextClearSlotAndCountJammed(t *testing.T) {
+	g := testGraph(t)
+	inj, err := Compile((&Plan{Seed: 1}).Add(Rule{Kind: Jam, From: 3, Until: 8}), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := inj.NextClearSlot(1, 20); !ok || s != 1 {
+		t.Errorf("NextClearSlot(1,20) = %d, %v, want 1, true", s, ok)
+	}
+	if s, ok := inj.NextClearSlot(3, 20); !ok || s != 9 {
+		t.Errorf("NextClearSlot(3,20) = %d, %v, want 9, true", s, ok)
+	}
+	if _, ok := inj.NextClearSlot(3, 8); ok {
+		t.Error("NextClearSlot found a clear slot inside the jam window")
+	}
+	if n := inj.CountJammed(1, 20); n != 6 {
+		t.Errorf("CountJammed(1,20) = %d, want 6", n)
+	}
+	if n := inj.CountJammed(5, 6); n != 2 {
+		t.Errorf("CountJammed(5,6) = %d, want 2", n)
+	}
+	if n := inj.CountJammed(9, 100); n != 0 {
+		t.Errorf("CountJammed(9,100) = %d, want 0", n)
+	}
+
+	// A probabilistic jam: the count must agree with per-round evaluation.
+	inj, err = Compile((&Plan{Seed: 9}).Add(Rule{Kind: Jam, From: 1, Until: Forever, Prob: 0.4}), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for s := 10; s <= 500; s++ {
+		if inj.Jammed(s) {
+			want++
+		}
+	}
+	if got := inj.CountJammed(10, 500); got != want {
+		t.Errorf("CountJammed(10,500) = %d, want %d", got, want)
+	}
+	if want == 0 || want == 491 {
+		t.Errorf("degenerate probabilistic jam count %d", want)
+	}
+
+	var nilInj *Injector
+	if s, ok := nilInj.NextClearSlot(4, 9); !ok || s != 4 {
+		t.Errorf("nil NextClearSlot = %d, %v, want 4, true", s, ok)
+	}
+	if nilInj.CountJammed(1, 1000) != 0 {
+		t.Error("nil injector counted jams")
+	}
+	if nilInj.HasJams() {
+		t.Error("nil injector has jams")
+	}
+}

@@ -6,13 +6,17 @@ package mst
 // produces a bit-identical transcript. The native form is what makes the
 // merge run at million-node scale: during the per-phase convergecast
 // barriers, passive nodes are parked with SleepUntilPulse, so a phase costs
-// O(n) machine steps instead of O(n · radius).
+// O(n) machine steps instead of O(n · radius) — and the per-step work is
+// kept allocation-free (link-indexed fragment slices instead of maps, the
+// heard list grouped by an in-place stable sort instead of a per-phase map)
+// because every node runs it every slot round.
 //
 // finish() dispatches here whenever sim.DefaultEngine is the step engine,
 // which is how `mmnet -algo mst -engine step` retires the goroutine merge.
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/forest"
 	"repro/internal/graph"
@@ -42,16 +46,19 @@ type mergeMachine struct {
 
 	isCore   bool
 	initFrag graph.NodeID
-	mstEdges map[int]bool
+	mstEdges []int // incident MST edges, deduplicated, sorted at finish
 
 	k         int
 	slotOf    int
-	fragIndex map[graph.NodeID]int
-	linkFrag  map[int]graph.NodeID // edge id -> neighbor's initial fragment
+	fragIdx   int                  // own initial fragment's schedule index
+	fragIndex map[graph.NodeID]int // fragment root -> schedule index (cold)
+	linkIdx   []int32              // per-link neighbor fragment index, -1 unknown
+	linkFrag  []graph.NodeID       // per-link neighbor initial fragment root
 	uf        *graph.UnionFind
 
 	// Per-phase state.
 	best    mMin
+	myCur   int // current fragment index, cached at phase open
 	reports int
 	sentUp  bool
 	heard   []mSlot
@@ -74,10 +81,9 @@ func mergeStepProgram(f *forest.Forest, phasesOut *int) sim.StepProgram {
 			b:         sim.NewStepBarrier(c),
 			isCore:    f.Parent[id] == -1,
 			initFrag:  f.Root(id),
-			mstEdges:  make(map[int]bool),
 		}
 		if f.ParentEdge[id] != -1 {
-			m.mstEdges[f.ParentEdge[id]] = true
+			m.mstEdges = append(m.mstEdges, f.ParentEdge[id])
 		}
 		m.cap = resolve.NewCapetanakisStep(c, c.N(), m.isCore, int(id), nil, 0)
 		return m
@@ -105,9 +111,20 @@ func (m *mergeMachine) Step(in sim.Input) bool {
 		m.state = msExch
 		return false
 	case msExch:
-		m.linkFrag = make(map[int]graph.NodeID, m.c.Degree())
+		// Record each neighbor's initial fragment by local link, resolved
+		// to its schedule index once. Links whose exchange never arrived
+		// (lost to faults) stay -1 and are skipped forever, exactly as a
+		// missing map entry was.
+		m.linkIdx = make([]int32, m.c.Degree())
+		m.linkFrag = make([]graph.NodeID, m.c.Degree())
+		for i := range m.linkIdx {
+			m.linkIdx[i] = -1
+		}
 		for _, msg := range in.Msgs {
-			m.linkFrag[msg.EdgeID] = msg.Payload.(mFragExchange).Frag
+			fr := msg.Payload.(mFragExchange).Frag
+			l := m.c.LinkOf(msg.EdgeID)
+			m.linkIdx[l] = int32(m.fragIndex[fr])
+			m.linkFrag[l] = fr
 		}
 		if m.uf.Sets() <= 1 {
 			return m.finish()
@@ -135,23 +152,25 @@ func (m *mergeMachine) finishCap() {
 			m.slotOf = i
 		}
 	}
+	m.fragIdx = m.fragIndex[m.initFrag]
 	m.uf = graph.NewUnionFind(m.k)
+	// Every phase fills heard with up to one mSlot per schedule slot; one
+	// exact allocation here beats a million nodes growing it in round one.
+	m.heard = make([]mSlot, 0, m.k)
 }
-
-func (m *mergeMachine) curOf(fr graph.NodeID) int { return m.uf.Find(m.fragIndex[fr]) }
 
 // enterConv opens a merge phase: pick the locally best outgoing candidate
 // and reset the convergecast counters.
 func (m *mergeMachine) enterConv() {
-	myCur := m.curOf(m.initFrag)
+	m.myCur = m.uf.Find(m.fragIdx)
 	m.best = mMin{Valid: false, W: graph.Weight(int64(^uint64(0) >> 1))}
-	for _, h := range m.c.Adj() {
-		other, ok := m.linkFrag[h.EdgeID]
-		if !ok || m.curOf(other) == myCur {
+	for l, h := range m.c.Adj() {
+		idx := m.linkIdx[l]
+		if idx < 0 || m.uf.Find(int(idx)) == m.myCur {
 			continue
 		}
 		if !m.best.Valid || h.Weight < m.best.W {
-			m.best = mMin{Valid: true, W: h.Weight, Edge: h.EdgeID, Target: other}
+			m.best = mMin{Valid: true, W: h.Weight, Edge: h.EdgeID, Target: m.linkFrag[l]}
 		}
 	}
 	m.reports = 0
@@ -196,11 +215,13 @@ func (m *mergeMachine) stepConv(in sim.Input) bool {
 	return false
 }
 
-// broadcastOwn stages this core's mSlot for its assigned slot.
+// broadcastOwn stages this core's mSlot for its assigned slot. No merges
+// happen between the phase open and the slot rounds, so the cached current
+// fragment (and the union-find) still match the values at enterConv.
 func (m *mergeMachine) broadcastOwn() {
-	s := mSlot{Valid: m.best.Valid, CurFrag: graph.NodeID(m.curOf(m.initFrag))}
+	s := mSlot{Valid: m.best.Valid, CurFrag: graph.NodeID(m.myCur)}
 	if m.best.Valid {
-		s.W, s.Edge, s.TargetCF = m.best.W, m.best.Edge, graph.NodeID(m.curOf(m.best.Target))
+		s.W, s.Edge, s.TargetCF = m.best.W, m.best.Edge, graph.NodeID(m.uf.Find(m.fragIndex[m.best.Target]))
 	}
 	m.c.Broadcast(s)
 }
@@ -220,35 +241,32 @@ func (m *mergeMachine) stepSlots(in sim.Input) bool {
 	}
 
 	// Local: the minimum per current fragment is an MST edge; merge, in the
-	// same canonical order as every other node.
-	type pick struct {
-		w      graph.Weight
-		edge   int
-		target int
-	}
-	mins := make(map[int]pick)
-	for _, h := range m.heard {
-		cf := int(h.CurFrag)
-		if p, ok := mins[cf]; !ok || h.W < p.w {
-			mins[cf] = pick{w: h.W, edge: h.Edge, target: int(h.TargetCF)}
-		}
-	}
-	cfs := make([]int, 0, len(mins))
-	for cf := range mins {
-		cfs = append(cfs, cf)
-	}
-	sort.Ints(cfs)
+	// same canonical order as every other node. The heard list is grouped
+	// in place: the stable sort keeps arrival order within each fragment,
+	// so the strict-less scan picks the same winner as the goroutine form's
+	// first-wins map, and the groups come out in the ascending fragment
+	// order the merges must replay in.
+	slices.SortStableFunc(m.heard, func(a, b mSlot) int { return cmp.Compare(a.CurFrag, b.CurFrag) })
 	id := m.c.ID()
-	for _, cf := range cfs {
-		p := mins[cf]
-		m.uf.Union(cf, p.target)
-		e := m.c.Graph().Edge(p.edge)
-		if e.U == id || e.V == id {
-			m.mstEdges[p.edge] = true
+	merges := 0
+	for i := 0; i < len(m.heard); {
+		best := m.heard[i]
+		j := i + 1
+		for ; j < len(m.heard) && m.heard[j].CurFrag == best.CurFrag; j++ {
+			if m.heard[j].W < best.W {
+				best = m.heard[j]
+			}
 		}
+		m.uf.Union(int(best.CurFrag), int(best.TargetCF))
+		e := m.c.Graph().Edge(best.Edge)
+		if e.U == id || e.V == id {
+			m.addMSTEdge(best.Edge)
+		}
+		merges++
+		i = j
 	}
 	m.phases++
-	if len(mins) == 0 && m.uf.Sets() > 1 {
+	if merges == 0 && m.uf.Sets() > 1 {
 		m.c.Failf("no outgoing links heard with %d fragments left", m.uf.Sets())
 	}
 	if m.uf.Sets() > 1 {
@@ -258,16 +276,24 @@ func (m *mergeMachine) stepSlots(in sim.Input) bool {
 	return m.finish()
 }
 
+// addMSTEdge records an incident MST edge once (both endpoints of a merge
+// edge may pick it in the same phase, and the same edge may not be added
+// twice across phases).
+func (m *mergeMachine) addMSTEdge(e int) {
+	if !slices.Contains(m.mstEdges, e) {
+		m.mstEdges = append(m.mstEdges, e)
+	}
+}
+
 // finish records the node's incident MST edges and halts.
 func (m *mergeMachine) finish() bool {
 	if m.phasesOut != nil && m.c.ID() == 0 {
 		*m.phasesOut = m.phases
 	}
-	out := make([]int, 0, len(m.mstEdges))
-	for e := range m.mstEdges {
-		out = append(out, e)
+	slices.Sort(m.mstEdges)
+	if m.mstEdges == nil {
+		m.mstEdges = []int{}
 	}
-	sort.Ints(out)
-	m.result = out
+	m.result = m.mstEdges
 	return true
 }

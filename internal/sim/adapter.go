@@ -21,7 +21,10 @@ func runStepAdapter(g *graph.Graph, program Program, cfg config) (*Result, error
 		return &goroutineMachine{sc: sc, ctx: newCtx(g, sc.id, cfg.seed), program: program}
 	}
 	// Inbox buffers are not reused: legacy programs may hold an Input's
-	// Msgs across Tick, which the goroutine engine always allowed.
+	// Msgs across Tick, which the goroutine engine always allowed. The
+	// engine instead batches each round's deliveries into one fresh arena
+	// per shard (deliverArena), so the adapter path still costs O(1)
+	// allocations per shard per round rather than one per recipient.
 	return runStepEngine(g, prog, cfg, false)
 }
 

@@ -1,0 +1,154 @@
+package sim
+
+// gate.go is the step engine's phase barrier: a persistent-worker,
+// sense-reversing gate that replaces the old per-shard workCh/ackCh channel
+// handshake. The coordinator publishes the phase command and flips the
+// shared sense word (an epoch counter — the generalization of a
+// sense-reversing flag to many reuses); workers observe the flip, run their
+// shard's slice of the phase, and decrement an arrival counter whose zero
+// crossing releases the coordinator. A phase transition therefore costs a
+// few uncontended atomics instead of 2×shards channel operations.
+//
+// Waiting on either side is spin-then-park: a bounded spin on the atomic
+// word (workers on the epoch, the coordinator on the arrival counter)
+// followed by a channel park. When the process is oversubscribed —
+// GOMAXPROCS below the participant count, so a spinner would burn the very
+// core its peer needs — the spin budget is zero and everyone parks
+// immediately, which degrades to the old handshake's cost instead of
+// livelocking. The park/wake pair uses a per-waiter published flag plus a
+// buffered channel: the waiter publishes the flag and re-checks the
+// condition, the signaler claims the flag with a Swap before sending, so a
+// wake is sent iff the waiter is (or is about to be) blocked and every park
+// cycle drains exactly the wakes addressed to it.
+//
+// Memory ordering: all atomics are sequentially consistent. A worker's
+// phase writes happen-before its arrival decrement, which happens-before
+// the coordinator observing zero; the coordinator's round-state writes
+// (slot, round, continuing) happen-before the epoch bump, which
+// happens-before any worker observing it — so all cross-phase data is
+// properly ordered for both the memory model and the race detector.
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// gateSpin is the spin budget (atomic loads) before a waiter parks. Phases
+// on a warm multicore machine complete in well under this many loads; the
+// budget only exists to bound the burn when a peer is descheduled.
+const gateSpin = 4096
+
+// gateWaiter is one parkable participant: a worker, or the coordinator.
+type gateWaiter struct {
+	parked atomic.Bool
+	ch     chan struct{}
+	_      [48]byte // pad to 64 bytes: keep waiters off each other's cache line
+}
+
+// park publishes this waiter as parked. The caller must re-check its wait
+// condition afterwards and then call either unpark (condition already met)
+// or block (still unmet).
+func (w *gateWaiter) park() { w.parked.Store(true) }
+
+// unpark withdraws a park when the condition turned out to be already met.
+// If a signaler claimed the flag in the window, its wake is in flight (the
+// channel is buffered, the signaler never blocks) and must be drained here.
+func (w *gateWaiter) unpark() {
+	if !w.parked.Swap(false) {
+		<-w.ch
+	}
+}
+
+// block waits for a signaler's wake. The signaler has already cleared the
+// parked flag by the time the wake is received.
+func (w *gateWaiter) block() { <-w.ch }
+
+// wake releases the waiter iff it is parked (or mid-park: the flag is
+// published before the waiter's final condition check, so a claimed flag
+// with a sent wake is never lost).
+func (w *gateWaiter) wake() {
+	if w.parked.Swap(false) {
+		w.ch <- struct{}{}
+	}
+}
+
+// phaseGate coordinates one coordinator and len(workers) persistent worker
+// goroutines through the per-round phases.
+type phaseGate struct {
+	phase   int8          // command for this epoch; written before the bump
+	epoch   atomic.Uint32 // the sense word: bumped to release the workers
+	pending atomic.Int32  // workers yet to finish the current phase
+	spin    int           // per-wait spin budget (0 when oversubscribed)
+
+	coord   gateWaiter
+	workers []gateWaiter
+}
+
+// phaseExit is the shutdown command.
+const phaseExit int8 = 0
+
+func newPhaseGate(workers int) *phaseGate {
+	g := &phaseGate{workers: make([]gateWaiter, workers)}
+	g.coord.ch = make(chan struct{}, 1)
+	for i := range g.workers {
+		g.workers[i].ch = make(chan struct{}, 1)
+	}
+	// Spinning is only productive when every participant (the workers plus
+	// the coordinator) can hold a core at once.
+	if runtime.GOMAXPROCS(0) > workers {
+		g.spin = gateSpin
+	}
+	return g
+}
+
+// release publishes the phase and flips the sense, starting all workers on
+// it. Coordinator-only; must not be called again before wait returns.
+func (g *phaseGate) release(phase int8) {
+	g.phase = phase
+	g.pending.Store(int32(len(g.workers)))
+	g.epoch.Add(1)
+	for i := range g.workers {
+		g.workers[i].wake()
+	}
+}
+
+// wait blocks the coordinator until every worker has finished the phase.
+func (g *phaseGate) wait() {
+	for s := 0; s < g.spin; s++ {
+		if g.pending.Load() == 0 {
+			return
+		}
+	}
+	g.coord.park()
+	if g.pending.Load() == 0 {
+		g.coord.unpark()
+		return
+	}
+	g.coord.block()
+}
+
+// await blocks worker i until the epoch moves past last, and returns the
+// new epoch. Worker-side of release.
+func (g *phaseGate) await(i int, last uint32) uint32 {
+	for s := 0; s < g.spin; s++ {
+		if v := g.epoch.Load(); v != last {
+			return v
+		}
+	}
+	w := &g.workers[i]
+	w.park()
+	if v := g.epoch.Load(); v != last {
+		w.unpark()
+		return v
+	}
+	w.block()
+	return g.epoch.Load()
+}
+
+// finish marks worker i's phase work complete, waking the coordinator on
+// the last arrival.
+func (g *phaseGate) finish() {
+	if g.pending.Add(-1) == 0 {
+		g.coord.wake()
+	}
+}

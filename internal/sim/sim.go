@@ -60,7 +60,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 
 	"repro/internal/fault"
@@ -605,13 +604,9 @@ func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) 
 			ctx.chWrite = nil
 		}
 		for i := range inboxes {
-			box := inboxes[i]
-			sort.Slice(box, func(a, b int) bool {
-				if box[a].From != box[b].From {
-					return box[a].From < box[b].From
-				}
-				return box[a].EdgeID < box[b].EdgeID
-			})
+			if box := inboxes[i]; len(box) > 1 {
+				sortInbox(box)
+			}
 		}
 
 		// Crash-stop the nodes scheduled to fail before observing round+1:

@@ -11,16 +11,20 @@ package sim
 //	         channel writes are staged into per-shard, per-destination-shard
 //	         outbox buckets (no locks, no per-node channel handoffs);
 //	deliver  each worker drains the buckets addressed to its shard into the
-//	         preallocated per-node inboxes, sorts multi-message inboxes by
-//	         (sender, edge id), and wakes sleeping recipients.
+//	         per-node inboxes, sorts multi-message inboxes by (sender, edge
+//	         id), and wakes sleeping recipients.
 //
-// All buffers (inboxes, outboxes, awake lists) are reused across rounds, so
-// a steady-state round allocates nothing beyond what machines themselves
-// allocate. Machines that have nothing to do until a message arrives call
-// StepCtx.Sleep; combined with the awake lists this makes the per-round cost
-// proportional to the number of active nodes, not n — protocols whose
-// activity is a travelling wavefront (BFS floods, convergecasts) run whole
-// 10⁶-node networks in seconds.
+// The phases are coordinated by a persistent-worker, sense-reversing atomic
+// barrier (gate.go): a phase transition costs a few atomics, not 2×shards
+// channel operations, and shards with nothing to do in a phase are skipped
+// by a shared need-check. All buffers (inboxes, outboxes, awake lists) are
+// reused across rounds, so a steady-state round allocates nothing beyond
+// what machines themselves allocate. Machines that have nothing to do until
+// a message arrives call StepCtx.Sleep; combined with the awake lists this
+// makes the per-round cost proportional to the number of active nodes, not
+// n. When every live node is parked the engine does not even spin empty
+// rounds: it fast-forwards straight to the next event that can wake a
+// machine (fastForward below), so fully quiescent stretches cost zero.
 //
 // Determinism: machines are constructed and stepped against per-node state
 // only, per-node RNGs are derived exactly as in the goroutine engine, and
@@ -28,11 +32,12 @@ package sim
 // yields a bit-identical transcript for any worker count and either engine.
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/fault"
@@ -131,6 +136,13 @@ type delivered struct {
 	payload Payload
 }
 
+// peerLink is one entry of a node's lazily built neighbor index, sorted by
+// peer id for binary search.
+type peerLink struct {
+	peer graph.NodeID
+	link int32
+}
+
 // StepCtx is a node's handle to the network under the step engine: the same
 // API surface as Ctx minus Tick (the engine calls Machine.Step instead),
 // plus Sleep. All methods must be called only from the node's Machine
@@ -154,6 +166,8 @@ type StepCtx struct {
 	halted    bool
 	machine   Machine
 	result    any
+
+	peerIdx []peerLink // lazy neighbor index for O(log d) Link on big nodes
 }
 
 // ID returns this node's identifier.
@@ -196,14 +210,36 @@ func (c *StepCtx) LinkOf(edgeID int) int {
 	}
 }
 
-// Link returns the local link index leading to the given neighbor.
+// linkIndexThreshold: below this degree a linear Adj scan beats building
+// and searching the sorted neighbor index.
+const linkIndexThreshold = 16
+
+// Link returns the local link index leading to the given neighbor. For
+// high-degree nodes the lookup is O(log d) through a lazily built sorted
+// index (a star hub answering n-1 SendTo calls used to pay a linear Adj
+// scan each, making the round quadratic).
 func (c *StepCtx) Link(to graph.NodeID) (int, bool) {
-	for l, h := range c.Adj() {
-		if h.To == to {
-			return l, true
+	adj := c.Adj()
+	if len(adj) < linkIndexThreshold {
+		for l, h := range adj {
+			if h.To == to {
+				return l, true
+			}
 		}
+		return 0, false
 	}
-	return 0, false
+	if c.peerIdx == nil {
+		c.peerIdx = make([]peerLink, len(adj))
+		for l, h := range adj {
+			c.peerIdx[l] = peerLink{peer: h.To, link: int32(l)}
+		}
+		slices.SortFunc(c.peerIdx, func(a, b peerLink) int { return cmp.Compare(a.peer, b.peer) })
+	}
+	i, ok := slices.BinarySearchFunc(c.peerIdx, to, func(e peerLink, t graph.NodeID) int { return cmp.Compare(e.peer, t) })
+	if !ok {
+		return 0, false
+	}
+	return int(c.peerIdx[i].link), true
 }
 
 // Send queues a message on the link with the given local index for delivery
@@ -302,9 +338,16 @@ type stepShard struct {
 
 	// Delayed and duplicated messages addressed to this shard, held until
 	// their fault-assigned delivery round. Shard-local, so the delivery
-	// phase mutates it without locks.
-	pending  map[int][]delivered
-	pendingN int
+	// phase mutates it without locks. Drained buckets are recycled through
+	// pendingFree instead of reallocated.
+	pending     map[int][]delivered
+	pendingN    int
+	pendingFree [][]delivered
+
+	// Scratch for the arena delivery path (adapter runs): the round's
+	// surviving messages in arrival order, and per-node counts/offsets.
+	arrivals []delivered
+	counts   []int32
 
 	writers       int
 	writerID      graph.NodeID
@@ -353,9 +396,12 @@ type stepEngine struct {
 	errNode  graph.NodeID
 	firstErr error
 
-	workCh []chan int8
-	ackCh  chan struct{}
+	gate *phaseGate // nil when single-worker
 }
+
+// disableFastForward forces the per-round path through quiescent stretches;
+// tests flip it to check the fast-forward arithmetic differentially.
+var disableFastForward bool
 
 // RunStep executes one Machine per node of g until all machines halt, and
 // returns aggregate metrics and per-node results — the native entry point
@@ -557,12 +603,17 @@ func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes
 		for i := range e.shards {
 			awakeTotal += len(e.shards[i].awake)
 		}
-		// A fully parked network is not special-cased: empty rounds cost
-		// O(shards) each, slots resolve idle (waking any pulse-parked
-		// nodes), and a genuine wedge — everyone asleep with no message
-		// ever due — spins to the same ErrMaxRounds, with the same metrics,
-		// that the goroutine form of the protocol reports. Faulted outcomes
-		// therefore stay bit-identical across engines.
+		if awakeTotal == 0 && !disableFastForward {
+			// Fully parked network, nothing staged: no machine can run until
+			// a delayed delivery, a crash, a pulse, or the round budget
+			// fires. Jump straight to that event, accruing the skipped
+			// rounds' writer-free slots arithmetically, so quiescent
+			// stretches — including a genuine wedge spinning to ErrMaxRounds
+			// — cost O(1) instead of O(shards) per round while keeping
+			// transcripts and Metrics bit-identical with the per-round path
+			// (and with the goroutine form of the protocol).
+			round = e.fastForward(round)
+		}
 	}
 
 	e.abortMachines()
@@ -576,72 +627,174 @@ func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes
 	return res, nil
 }
 
+// fastForward is the quiescent-round fast-forward, called at the bottom of
+// iteration r when every live node is parked and no message is staged. It
+// returns the iteration to resume per-round execution before (the caller's
+// round++ lands on it); returning r resumes normally at r+1.
+//
+// With the network fully parked, a later iteration q can only observe:
+// delayed/duplicated messages due at round q+1 (deposited by iteration q),
+// crashes scheduled at q+1 (applied by iteration q), a pulse waking
+// SleepUntilPulse-parked nodes (the first slot from q+1 on resolving idle),
+// or the round budget (iteration maxRounds records ErrMaxRounds). Every
+// iteration before the earliest such event just resolves a writer-free slot
+// — idle, or a jammed collision — so the engine skips them and accrues
+// those slots arithmetically.
+func (e *stepEngine) fastForward(r int) int {
+	// The budget fails at iteration maxRounds (round+1 > maxRounds there).
+	R := e.cfg.maxRounds
+	// Delayed/duplicated messages due at round p are deposited by
+	// iteration p-1.
+	for i := range e.shards {
+		s := &e.shards[i]
+		if s.pendingN == 0 {
+			continue
+		}
+		for p := range s.pending {
+			if p-1 < R {
+				R = p - 1
+			}
+		}
+	}
+	// Crashes at round c are applied by iteration c-1; iteration r already
+	// applied round r+1's.
+	if c, ok := e.inj.NextCrashAfter(r + 1); ok && c-1 < R {
+		R = c - 1
+	}
+	if R > r+1 && e.hasPulseSleepers() {
+		// Parked pulse waiters wake at the first non-jammed slot (writers
+		// are impossible while everyone is parked); without jam rules that
+		// is the very next one, and no rounds are skipped at all.
+		if s, ok := e.inj.NextClearSlot(r+2, R); ok && s-1 < R {
+			R = s - 1
+		}
+	}
+	if R <= r+1 {
+		return r
+	}
+	// Iterations r+1 .. R-1 resolve slots r+2 .. R, all writer-free.
+	skipped := int64(R - r - 1)
+	jammed := e.inj.CountJammed(r+2, R)
+	e.met.SlotsJammed += jammed
+	e.met.SlotsIdle += skipped - jammed
+	return R - 1
+}
+
+// hasPulseSleepers reports whether any node is parked awaiting the pulse,
+// compacting entries invalidated by an early message wake or a crash.
+func (e *stepEngine) hasPulseSleepers() bool {
+	any := false
+	for i := range e.shards {
+		s := &e.shards[i]
+		if len(s.pulseSleepers) == 0 {
+			continue
+		}
+		kept := s.pulseSleepers[:0]
+		for _, v := range s.pulseSleepers {
+			sc := &e.nodes[v]
+			if !sc.halted && sc.pulseWake {
+				kept = append(kept, v)
+			}
+		}
+		s.pulseSleepers = kept
+		any = any || len(kept) > 0
+	}
+	return any
+}
+
 // runPhase executes one phase over the shards, inline when the round is
-// small or the engine single-threaded, on the worker pool otherwise.
+// small or the engine single-threaded, on the persistent worker pool behind
+// the phase gate otherwise (the coordinator takes shard 0 itself).
 func (e *stepEngine) runPhase(phase int8, stepped []int, awakeTotal int) {
-	if e.workers == 1 || awakeTotal < inlineThreshold {
+	if e.gate == nil || awakeTotal < inlineThreshold {
 		switch phase {
 		case phaseStep:
 			for _, si := range stepped {
 				e.stepShard(&e.shards[si])
 			}
 		case phaseDeliver:
-			// Only destination shards with fresh buckets or delayed
-			// messages due this round need draining.
 			for d := range e.shards {
-				need := e.shards[d].pendingN > 0 && len(e.shards[d].pending[e.round+1]) > 0
-				if e.pulseFired && len(e.shards[d].pulseSleepers) > 0 {
-					need = true
-				}
-				for _, si := range stepped {
-					if need {
-						break
-					}
-					if len(e.shards[si].out[d]) > 0 {
-						need = true
-					}
-				}
-				if need {
+				if e.needsDelivery(d) {
 					e.deliverShard(d)
 				}
 			}
 		}
 		return
 	}
-	for i := range e.workCh {
-		e.workCh[i] <- phase
-	}
-	for range e.workCh {
-		<-e.ackCh
+	e.gate.release(phase)
+	e.phaseShard(phase, 0)
+	e.gate.wait()
+}
+
+// phaseShard runs one shard's slice of a phase, skipping shards the phase
+// has no work for.
+func (e *stepEngine) phaseShard(phase int8, i int) {
+	switch phase {
+	case phaseStep:
+		if len(e.shards[i].awake) > 0 {
+			e.stepShard(&e.shards[i])
+		}
+	case phaseDeliver:
+		if e.needsDelivery(i) {
+			e.deliverShard(i)
+		}
 	}
 }
 
+// needsDelivery reports whether a destination shard has anything to do in
+// the delivery phase: fresh buckets staged for it, delayed messages due
+// this round, or pulse-parked nodes to wake. Shared by the inline and
+// worker paths, so empty shards are never drained on either.
+func (e *stepEngine) needsDelivery(d int) bool {
+	sd := &e.shards[d]
+	if sd.pendingN > 0 && len(sd.pending[e.round+1]) > 0 {
+		return true
+	}
+	if e.pulseFired && len(sd.pulseSleepers) > 0 {
+		return true
+	}
+	for si := range e.shards {
+		if len(e.shards[si].out[d]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// startWorkers brings up the persistent worker pool: one goroutine per
+// shard except shard 0, which the coordinator runs itself between releasing
+// and waiting on the gate.
 func (e *stepEngine) startWorkers() {
-	e.workCh = make([]chan int8, len(e.shards))
-	e.ackCh = make(chan struct{}, len(e.shards))
-	for i := range e.shards {
-		e.workCh[i] = make(chan int8, 1)
-		go func(i int, work <-chan int8) {
-			for phase := range work {
-				switch phase {
-				case phaseStep:
-					if len(e.shards[i].awake) > 0 {
-						e.stepShard(&e.shards[i])
-					}
-				case phaseDeliver:
-					e.deliverShard(i)
-				}
-				e.ackCh <- struct{}{}
-			}
-		}(i, e.workCh[i])
+	e.gate = newPhaseGate(len(e.shards) - 1)
+	for i := 1; i < len(e.shards); i++ {
+		go e.workerLoop(i)
+	}
+}
+
+// workerLoop is one persistent worker: woken by the gate for each phase, it
+// runs its shard's slice and reports completion, until told to exit.
+func (e *stepEngine) workerLoop(shard int) {
+	var epoch uint32
+	for {
+		epoch = e.gate.await(shard-1, epoch)
+		phase := e.gate.phase
+		if phase != phaseExit {
+			e.phaseShard(phase, shard)
+		}
+		e.gate.finish()
+		if phase == phaseExit {
+			return
+		}
 	}
 }
 
 func (e *stepEngine) stopWorkers() {
-	for i := range e.workCh {
-		close(e.workCh[i])
+	if e.gate == nil {
+		return
 	}
-	e.workCh = nil
+	e.gate.release(phaseExit)
+	e.gate.wait()
+	e.gate = nil
 }
 
 // stepShard runs the compute phase for one shard: step every awake machine,
@@ -652,9 +805,9 @@ func (e *stepEngine) stopWorkers() {
 // lowest-node error.
 func (e *stepEngine) stepShard(s *stepShard) {
 	defer func() {
-		// Machine panics are handled per node in stepNode; this catches
-		// engine-infrastructure failures in the staging loop itself, which
-		// would otherwise kill a bare worker goroutine.
+		// Machine panics are handled batch-wise in stepNodes; this catches
+		// engine-infrastructure failures in the phase itself, which would
+		// otherwise kill a bare worker goroutine.
 		if r := recover(); r != nil {
 			e.recordErr(1<<31-1, fmt.Errorf("sim: step phase of shard [%d,%d) panicked: %v", s.lo, s.hi, r))
 		}
@@ -662,8 +815,41 @@ func (e *stepEngine) stepShard(s *stepShard) {
 	s.writers = 0
 	s.halts = 0
 	s.next = s.next[:0]
+	for i := 0; i < len(s.awake); {
+		i = e.stepNodes(s, i)
+	}
+	s.awake, s.next = s.next, s.awake
+}
+
+// stepNodes steps s.awake[start:] until the batch completes or a machine
+// panics: the happy path pays for one deferred recover per batch instead of
+// one per node step. On a panic the failing node's error is recorded, its
+// sends and channel write staged before the panic are still committed
+// (exactly as a goroutine program's are), the node leaves the run like an
+// errored program, and the index after it is returned so the caller resumes
+// the batch.
+func (e *stepEngine) stepNodes(s *stepShard, start int) (next int) {
+	i := start
+	defer func() {
+		if r := recover(); r != nil {
+			sc := &e.nodes[s.awake[i]]
+			if err := nodeFailure(sc.id, r); err != nil {
+				e.recordErr(sc.id, err)
+			}
+			if e.reuse {
+				e.inbox[sc.id] = e.inbox[sc.id][:0]
+			} else {
+				e.inbox[sc.id] = nil
+			}
+			e.commitNode(s, sc)
+			sc.halted = true
+			s.halts++
+			next = i + 1
+		}
+	}()
 	round, slot := e.round, e.slot
-	for _, v := range s.awake {
+	for ; i < len(s.awake); i++ {
+		v := s.awake[i]
 		sc := &e.nodes[v]
 		if sc.halted {
 			// Crash-stopped between being scheduled and this round.
@@ -673,36 +859,16 @@ func (e *stepEngine) stepShard(s *stepShard) {
 		sc.asleep = false
 		sc.pulseWake = false
 		sc.round = round
-		halt, panicked := e.stepNode(sc, Input{Round: round, Msgs: e.inbox[v], Slot: slot})
+		halt := sc.machine.Step(Input{Round: round, Msgs: e.inbox[v], Slot: slot})
 		if e.reuse {
 			e.inbox[v] = e.inbox[v][:0]
 		} else {
 			e.inbox[v] = nil
 		}
-		// Sends and channel writes staged before a panic are still
-		// committed, exactly as a goroutine program's are.
-		if sc.chPending {
-			s.writers++
-			s.writerID = sc.id
-			s.writerPayload = sc.chWrite
-			sc.chPending, sc.chWrite = false, nil
-		}
-		if len(sc.out) > 0 {
-			base := e.sentOff[v]
-			for _, o := range sc.out {
-				if o.link >= 0 {
-					e.sentFlags[base+int(o.link)] = false
-				}
-				d := int(o.to) / e.shardSize
-				s.out[d] = append(s.out[d], delivered{to: o.to, from: sc.id, edgeID: o.edgeID, payload: o.payload})
-			}
-			sc.out = sc.out[:0]
+		if sc.chPending || len(sc.out) > 0 {
+			e.commitNode(s, sc)
 		}
 		switch {
-		case panicked:
-			// The errored node leaves the run, like an errored program.
-			sc.halted = true
-			s.halts++
 		case halt:
 			sc.halted = true
 			sc.result = sc.machine.Result()
@@ -718,28 +884,37 @@ func (e *stepEngine) stepShard(s *stepShard) {
 			s.next = append(s.next, v)
 		}
 	}
-	s.awake, s.next = s.next, s.awake
+	return i
 }
 
-// stepNode steps one machine, converting a panic into the node's recorded
-// failure.
-func (e *stepEngine) stepNode(sc *StepCtx, in Input) (halt, panicked bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			panicked = true
-			if err := nodeFailure(sc.id, r); err != nil {
-				e.recordErr(sc.id, err)
+// commitNode commits one stepped node's staged sends and channel write into
+// its shard's buckets and write summary.
+func (e *stepEngine) commitNode(s *stepShard, sc *StepCtx) {
+	if sc.chPending {
+		s.writers++
+		s.writerID = sc.id
+		s.writerPayload = sc.chWrite
+		sc.chPending, sc.chWrite = false, nil
+	}
+	if len(sc.out) > 0 {
+		base := e.sentOff[sc.id]
+		for _, o := range sc.out {
+			if o.link >= 0 {
+				e.sentFlags[base+int(o.link)] = false
 			}
+			d := int(o.to) / e.shardSize
+			s.out[d] = append(s.out[d], delivered{to: o.to, from: sc.id, edgeID: o.edgeID, payload: o.payload})
 		}
-	}()
-	return sc.machine.Step(in), false
+		sc.out = sc.out[:0]
+	}
 }
 
-// deliverShard runs the delivery phase for one destination shard: deposit
-// the delayed messages due this round, then drain every source shard's
-// bucket (in shard order, keeping inboxes presorted by sender range)
-// through the fault hook, sort multi-message inboxes by (sender, edge id),
-// count messages and drops, and wake sleeping recipients.
+// deliverShard runs the delivery phase for one destination shard: wake
+// pulse-parked nodes if the pulse fired, deposit the delayed messages due
+// this round, then drain every source shard's bucket (in shard order,
+// keeping inboxes presorted by sender range) through the fault hook, sort
+// multi-message inboxes by (sender, edge id), count messages and drops, and
+// wake sleeping recipients.
 func (e *stepEngine) deliverShard(d int) {
 	sd := &e.shards[d]
 	defer func() {
@@ -766,14 +941,74 @@ func (e *stepEngine) deliverShard(d int) {
 		}
 		sd.pulseSleepers = sd.pulseSleepers[:0]
 	}
-	if sd.pendingN > 0 {
-		if late := sd.pending[deliverRound]; len(late) > 0 {
-			delete(sd.pending, deliverRound)
-			sd.pendingN -= len(late)
-			for i := range late {
-				e.deposit(sd, &late[i])
-			}
+	if e.reuse {
+		e.deliverReuse(sd, d, deliverRound)
+	} else {
+		e.deliverArena(sd, d, deliverRound)
+	}
+}
+
+// applyMsgFaults routes one staged message through the injector. A false
+// return means the message must not be delivered this round: destroyed, or
+// deferred into the pending buffer. Duplicates are scheduled for later and
+// the original still delivered now.
+func (e *stepEngine) applyMsgFaults(sd *stepShard, m *delivered, deliverRound int) bool {
+	switch fate, lag := e.inj.MsgFate(int(m.edgeID), m.from, deliverRound); fate {
+	case fault.DropMsg:
+		sd.faultDrops++
+		return false
+	case fault.DelayMsg, fault.DupMsg:
+		if sd.pending == nil {
+			sd.pending = make(map[int][]delivered)
 		}
+		key := deliverRound + lag
+		lst, ok := sd.pending[key]
+		if !ok && len(sd.pendingFree) > 0 {
+			last := len(sd.pendingFree) - 1
+			lst, sd.pendingFree = sd.pendingFree[last], sd.pendingFree[:last]
+		}
+		sd.pending[key] = append(lst, *m)
+		sd.pendingN++
+		if fate == fault.DelayMsg {
+			sd.delayed++
+			return false
+		}
+		sd.duped++
+	}
+	return true
+}
+
+// takePending removes and returns the pending bucket due at deliverRound,
+// or nil.
+func (sd *stepShard) takePending(deliverRound int) []delivered {
+	if sd.pendingN == 0 {
+		return nil
+	}
+	late := sd.pending[deliverRound]
+	if len(late) == 0 {
+		return nil
+	}
+	delete(sd.pending, deliverRound)
+	sd.pendingN -= len(late)
+	return late
+}
+
+// recyclePending returns a drained pending bucket's backing array to the
+// shard's free list, clearing its payload references.
+func (sd *stepShard) recyclePending(late []delivered) {
+	clear(late)
+	sd.pendingFree = append(sd.pendingFree, late[:0])
+}
+
+// deliverReuse is the delivery phase for native runs, whose inbox buffers
+// are engine-owned and reused round after round (Machine inputs are only
+// valid during Step) — steady-state delivery allocates nothing.
+func (e *stepEngine) deliverReuse(sd *stepShard, d int, deliverRound int) {
+	if late := sd.takePending(deliverRound); late != nil {
+		for i := range late {
+			e.deposit(sd, &late[i])
+		}
+		sd.recyclePending(late)
 	}
 	msgFaults := e.inj.HasMsgFaults()
 	for si := range e.shards {
@@ -784,25 +1019,9 @@ func (e *stepEngine) deliverShard(d int) {
 		for i := range bucket {
 			m := &bucket[i]
 			sd.msgs++
-			if msgFaults {
-				switch fate, lag := e.inj.MsgFate(int(m.edgeID), m.from, deliverRound); fate {
-				case fault.DropMsg:
-					sd.faultDrops++
-					m.payload = nil
-					continue
-				case fault.DelayMsg, fault.DupMsg:
-					if sd.pending == nil {
-						sd.pending = make(map[int][]delivered)
-					}
-					sd.pending[deliverRound+lag] = append(sd.pending[deliverRound+lag], *m)
-					sd.pendingN++
-					if fate == fault.DelayMsg {
-						sd.delayed++
-						m.payload = nil
-						continue
-					}
-					sd.duped++
-				}
+			if msgFaults && !e.applyMsgFaults(sd, m, deliverRound) {
+				m.payload = nil
+				continue
 			}
 			e.deposit(sd, m)
 			m.payload = nil // drop the engine's reference once delivered
@@ -811,15 +1030,123 @@ func (e *stepEngine) deliverShard(d int) {
 	}
 	for _, v := range sd.touched {
 		if box := e.inbox[v]; len(box) > 1 {
-			sort.Slice(box, func(a, b int) bool {
-				if box[a].From != box[b].From {
-					return box[a].From < box[b].From
-				}
-				return box[a].EdgeID < box[b].EdgeID
-			})
+			sortInbox(box)
 		}
 	}
 	sd.touched = sd.touched[:0]
+}
+
+// deliverArena is the delivery phase for adapter runs, whose inboxes cannot
+// be reused: the goroutine API always allowed a Program to retain an
+// Input's Msgs past Tick. Instead of growing one heap slice per recipient
+// per round, the round's surviving messages are staged in a reused scratch
+// list and laid out into a single freshly allocated arena — one contiguous
+// window per recipient, one allocation per shard per round, with the arena
+// handed out and never touched again.
+func (e *stepEngine) deliverArena(sd *stepShard, d int, deliverRound int) {
+	// Pass A: route everything due this round through the fault hook,
+	// collecting survivors in arrival order (late deliveries first, then
+	// source shards in shard order — exactly the order deposit sees them on
+	// the native path).
+	arr := sd.arrivals[:0]
+	if late := sd.takePending(deliverRound); late != nil {
+		for i := range late {
+			m := &late[i]
+			if e.nodes[m.to].halted {
+				if e.continuing {
+					sd.dropped++
+				}
+				continue
+			}
+			arr = append(arr, *m)
+		}
+		sd.recyclePending(late)
+	}
+	msgFaults := e.inj.HasMsgFaults()
+	for si := range e.shards {
+		bucket := e.shards[si].out[d]
+		if len(bucket) == 0 {
+			continue
+		}
+		for i := range bucket {
+			m := &bucket[i]
+			sd.msgs++
+			if msgFaults && !e.applyMsgFaults(sd, m, deliverRound) {
+				m.payload = nil
+				continue
+			}
+			if e.nodes[m.to].halted {
+				if e.continuing {
+					sd.dropped++
+				}
+				m.payload = nil
+				continue
+			}
+			arr = append(arr, *m)
+			m.payload = nil
+		}
+		e.shards[si].out[d] = bucket[:0]
+	}
+	sd.arrivals = arr
+	if len(arr) == 0 {
+		return
+	}
+	// Pass B: per-recipient counts, then one arena carved into per-node
+	// windows filled in arrival order.
+	if sd.counts == nil {
+		sd.counts = make([]int32, sd.hi-sd.lo)
+	}
+	for i := range arr {
+		t := int(arr[i].to) - sd.lo
+		if sd.counts[t] == 0 {
+			sd.touched = append(sd.touched, int32(arr[i].to))
+		}
+		sd.counts[t]++
+	}
+	arena := make([]Message, len(arr))
+	off := int32(0)
+	for _, v := range sd.touched {
+		t := int(v) - sd.lo
+		n := sd.counts[t]
+		// Full slice expression: programs may legally append to an Input's
+		// Msgs, which must reallocate rather than bleed into the next
+		// recipient's window of the shared arena.
+		e.inbox[v] = arena[off : off+n : off+n]
+		sd.counts[t] = off // becomes the node's next free index below
+		off += n
+	}
+	for i := range arr {
+		m := &arr[i]
+		t := int(m.to) - sd.lo
+		arena[sd.counts[t]] = Message{From: m.from, EdgeID: int(m.edgeID), Payload: m.payload}
+		sd.counts[t]++
+		m.payload = nil // release the scratch list's reference
+	}
+	for _, v := range sd.touched {
+		sd.counts[int(v)-sd.lo] = 0
+		if box := e.inbox[v]; len(box) > 1 {
+			sortInbox(box)
+		}
+		// Wake the recipient, in first-arrival order like the native path.
+		dst := &e.nodes[v]
+		if !dst.scheduled {
+			dst.scheduled = true
+			dst.asleep = false
+			sd.awake = append(sd.awake, v)
+		}
+	}
+	sd.touched = sd.touched[:0]
+}
+
+// sortInbox orders one inbox by (sender, edge id) — the delivery order both
+// engines guarantee.
+func sortInbox(box []Message) {
+	slices.SortFunc(box, func(a, b Message) int {
+		if c := cmp.Compare(a.From, b.From); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.EdgeID, b.EdgeID)
+	})
 }
 
 // deposit lands one message in its destination inbox (or the halted-drop

@@ -402,3 +402,40 @@ func TestParseEngine(t *testing.T) {
 		t.Error("Engine.String mismatch")
 	}
 }
+
+func TestAdapterInboxAppendSafe(t *testing.T) {
+	// The adapter delivers each round's messages in one arena per shard; a
+	// program appending to its Input.Msgs (always legal on the goroutine
+	// engine) must reallocate instead of overwriting the next recipient's
+	// window. Every node messages its successor, so all the round's inbox
+	// windows sit side by side in one arena.
+	g, err := graph.Ring(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(ctx *Ctx) error {
+		next := graph.NodeID((int(ctx.ID()) + 1) % ctx.N())
+		ctx.SendTo(next, int(ctx.ID())*100)
+		in := ctx.Tick()
+		// Abuse the API the way a legacy program may: grow the inbox slice.
+		grown := append(in.Msgs, Message{From: 99, EdgeID: 99, Payload: "junk"})
+		_ = grown
+		var sum int
+		for _, m := range in.Msgs {
+			sum += m.Payload.(int)
+		}
+		ctx.SetResult(sum)
+		return nil
+	}
+	want, err := Run(g, prog, WithEngine(EngineGoroutine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(g, prog, WithEngine(EngineStep), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Results, got.Results) {
+		t.Errorf("results diverge after inbox append:\n goroutine: %v\n step:      %v", want.Results, got.Results)
+	}
+}
