@@ -201,13 +201,23 @@ func run(args []string, w io.Writer) error {
 // beyond 1/fraction of the baseline's.
 const regressionTolerance = 0.75
 
+// allocsSlack is the absolute allocs/op growth always tolerated, so the
+// proportional gate stays meaningful against a zero-alloc baseline (where
+// any ratio is infinite) and doesn't trip on one-allocation jitter atop
+// tiny baselines.
+const allocsSlack = 16
+
 // compareReports diffs the fresh report against a committed baseline. Rows
 // are matched by name; rows whose node counts differ (e.g. quick-mode scale
 // rows against a -full baseline) are skipped, new rows pass by default, and
 // any matched row slower than regressionTolerance × baseline fails. The
 // allocs/op check is the machine-independent half of the gate: wall-clock
 // rows wobble with the runner's hardware and load, but a steady-state
-// allocation regression reproduces exactly everywhere.
+// allocation regression reproduces exactly everywhere. When the baseline
+// was recorded at a different GOMAXPROCS the machines aren't comparable —
+// a 1-core container baseline vs a multi-core CI runner would fail (or
+// absolve) wall-clock rows on hardware shape alone — so nodes/sec is
+// skipped and only the allocs/op half and row presence gate.
 func compareReports(w io.Writer, cur *Report, baselinePath string) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -221,8 +231,15 @@ func compareReports(w io.Writer, cur *Report, baselinePath string) error {
 	for _, r := range base.Rows {
 		baseRows[r.Name] = r
 	}
+	sameShape := cur.GOMAXPROCS == base.GOMAXPROCS
+	if !sameShape {
+		fmt.Fprintf(w, "compare: gomaxprocs %d vs baseline %d: wall-clock rows not comparable, gating allocs/op and row presence only\n",
+			cur.GOMAXPROCS, base.GOMAXPROCS)
+	}
 	var regressions []string
+	matched := make(map[string]bool, len(cur.Rows))
 	for _, r := range cur.Rows {
+		matched[r.Name] = true
 		b, ok := baseRows[r.Name]
 		switch {
 		case !ok:
@@ -234,12 +251,13 @@ func compareReports(w io.Writer, cur *Report, baselinePath string) error {
 		default:
 			ratio := r.NodesPerSec / b.NodesPerSec
 			verdict := "ok"
-			if ratio < regressionTolerance {
+			if sameShape && ratio < regressionTolerance {
 				verdict = "REGRESSION"
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %.0f -> %.0f nodes/sec (%.2fx)", r.Name, b.NodesPerSec, r.NodesPerSec, ratio))
 			}
-			if b.AllocsPerOp > 0 && float64(r.AllocsPerOp) > float64(b.AllocsPerOp)/regressionTolerance {
+			if float64(r.AllocsPerOp) > float64(b.AllocsPerOp)/regressionTolerance &&
+				r.AllocsPerOp > b.AllocsPerOp+allocsSlack {
 				verdict = "REGRESSION"
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %d -> %d allocs/op", r.Name, b.AllocsPerOp, r.AllocsPerOp))
@@ -247,9 +265,17 @@ func compareReports(w io.Writer, cur *Report, baselinePath string) error {
 			fmt.Fprintf(w, "compare: %-32s %.2fx baseline  %s\n", r.Name, ratio, verdict)
 		}
 	}
+	// A baseline row the fresh report no longer produces is lost coverage,
+	// not a pass: fail loudly instead of letting a renamed or deleted
+	// benchmark silently drop out of the gate.
+	for _, b := range base.Rows {
+		if !matched[b.Name] {
+			fmt.Fprintf(w, "compare: %-32s MISSING (baseline row not in current report)\n", b.Name)
+			regressions = append(regressions, fmt.Sprintf("%s: baseline row missing from current report", b.Name))
+		}
+	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d row(s) regressed >%.0f%% vs %s: %v",
-			len(regressions), (1-regressionTolerance)*100, baselinePath, regressions)
+		return fmt.Errorf("%d row(s) failed the gate vs %s: %v", len(regressions), baselinePath, regressions)
 	}
 	fmt.Fprintf(w, "compare: no row regressed >%.0f%% vs %s\n", (1-regressionTolerance)*100, baselinePath)
 	return nil

@@ -94,7 +94,7 @@ func TestCompareGate(t *testing.T) {
 	buf.Reset()
 	if err := compareReports(&buf, rep, base); err == nil {
 		t.Fatalf("10x-faster baseline must fail the gate:\n%s", buf.String())
-	} else if !strings.Contains(err.Error(), "regressed") {
+	} else if !strings.Contains(err.Error(), "nodes/sec") {
 		t.Errorf("unexpected gate error: %v", err)
 	}
 
@@ -138,5 +138,79 @@ func TestCompareGate(t *testing.T) {
 	// A missing baseline file is a hard error.
 	if err := compareReports(&buf, rep, filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Error("missing baseline must error")
+	}
+}
+
+// TestCompareGateMissingRowAndZeroAllocBaseline covers the gate's edge
+// cases on synthetic reports: a baseline row the current report no longer
+// produces fails (lost coverage, not a pass), a zero-alloc baseline still
+// gates allocation growth beyond the absolute slack, and sub-slack alloc
+// jitter over a tiny baseline passes.
+func TestCompareGateMissingRowAndZeroAllocBaseline(t *testing.T) {
+	writeBase := func(rows ...Row) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "base.json")
+		data, err := json.Marshal(&Report{Rows: rows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	row := func(name string, allocs int64) Row {
+		return Row{Name: name, Nodes: 100, NsPerOp: 1000, NodesPerSec: 1e6, AllocsPerOp: allocs}
+	}
+
+	// Baseline row absent from the current report fails the gate.
+	var buf bytes.Buffer
+	cur := &Report{Rows: []Row{row("relay/a", 50)}}
+	base := writeBase(row("relay/a", 50), row("relay/gone", 50))
+	if err := compareReports(&buf, cur, base); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("dropped baseline row must fail the gate, got %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "MISSING") {
+		t.Errorf("compare output missing MISSING marker:\n%s", buf.String())
+	}
+
+	// Zero-alloc baseline: growth beyond the slack fails...
+	buf.Reset()
+	cur = &Report{Rows: []Row{row("relay/a", allocsSlack + 1)}}
+	base = writeBase(row("relay/a", 0))
+	if err := compareReports(&buf, cur, base); err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("alloc growth over a zero-alloc baseline must fail the gate, got %v\n%s", err, buf.String())
+	}
+
+	// ...but sub-slack growth (zero or tiny baseline) passes.
+	buf.Reset()
+	cur = &Report{Rows: []Row{row("relay/a", allocsSlack), row("relay/b", 12)}}
+	base = writeBase(row("relay/a", 0), row("relay/b", 4))
+	if err := compareReports(&buf, cur, base); err != nil {
+		t.Errorf("sub-slack alloc jitter must pass the gate: %v\n%s", err, buf.String())
+	}
+
+	// A GOMAXPROCS mismatch (baseline from a different machine shape)
+	// skips the wall-clock half — a 10x slower row passes — while the
+	// machine-independent allocs/op half still gates.
+	buf.Reset()
+	slow := row("relay/a", 1000)
+	slow.NodesPerSec /= 10
+	cur = &Report{GOMAXPROCS: 4, Rows: []Row{slow}}
+	path := filepath.Join(t.TempDir(), "base.json")
+	data, err := json.Marshal(&Report{GOMAXPROCS: 1, Rows: []Row{row("relay/a", 50)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareReports(&buf, cur, path); err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("cross-shape compare must still gate allocs/op, got %v\n%s", err, buf.String())
+	} else if strings.Contains(err.Error(), "nodes/sec") {
+		t.Errorf("cross-shape compare must not gate wall clock: %v", err)
+	}
+	if !strings.Contains(buf.String(), "not comparable") {
+		t.Errorf("cross-shape compare output missing notice:\n%s", buf.String())
 	}
 }

@@ -276,13 +276,12 @@ func (m *mergeMachine) stepSlots(in sim.Input) bool {
 	return m.finish()
 }
 
-// addMSTEdge records an incident MST edge once (both endpoints of a merge
-// edge may pick it in the same phase, and the same edge may not be added
-// twice across phases).
+// addMSTEdge records an incident MST edge. Duplicates are allowed here
+// (both endpoints of a merge edge may pick it in the same phase, and the
+// same edge can recur across phases) and removed once in finish — a
+// per-add Contains scan would be quadratic at high-degree hubs.
 func (m *mergeMachine) addMSTEdge(e int) {
-	if !slices.Contains(m.mstEdges, e) {
-		m.mstEdges = append(m.mstEdges, e)
-	}
+	m.mstEdges = append(m.mstEdges, e)
 }
 
 // finish records the node's incident MST edges and halts.
@@ -291,6 +290,7 @@ func (m *mergeMachine) finish() bool {
 		*m.phasesOut = m.phases
 	}
 	slices.Sort(m.mstEdges)
+	m.mstEdges = slices.Compact(m.mstEdges)
 	if m.mstEdges == nil {
 		m.mstEdges = []int{}
 	}

@@ -113,36 +113,54 @@ func (g *phaseGate) release(phase int8) {
 }
 
 // wait blocks the coordinator until every worker has finished the phase.
+// A wake is only a hint: if the coordinator left a previous wait via the
+// spin path while the last worker's wake was still in flight, that stale
+// wake can claim a later park. pending==0 is the sole authority, so the
+// loop re-checks it after every block and re-parks on a spurious wake.
 func (g *phaseGate) wait() {
-	for s := 0; s < g.spin; s++ {
+	for {
+		for s := 0; s < g.spin; s++ {
+			if g.pending.Load() == 0 {
+				return
+			}
+		}
+		g.coord.park()
+		if g.pending.Load() == 0 {
+			g.coord.unpark()
+			return
+		}
+		g.coord.block()
 		if g.pending.Load() == 0 {
 			return
 		}
 	}
-	g.coord.park()
-	if g.pending.Load() == 0 {
-		g.coord.unpark()
-		return
-	}
-	g.coord.block()
 }
 
 // await blocks worker i until the epoch moves past last, and returns the
-// new epoch. Worker-side of release.
+// new epoch. Worker-side of release. As in wait, a wake is only a hint: a
+// worker that observed the epoch bump by spinning can finish the phase and
+// park for the next one before the coordinator's release loop delivers the
+// previous wake, and that stale wake then claims the new park. The epoch
+// flip is the sole authority, so the loop re-parks until it advances —
+// otherwise the caller would re-run the same phase and double-finish.
 func (g *phaseGate) await(i int, last uint32) uint32 {
-	for s := 0; s < g.spin; s++ {
+	w := &g.workers[i]
+	for {
+		for s := 0; s < g.spin; s++ {
+			if v := g.epoch.Load(); v != last {
+				return v
+			}
+		}
+		w.park()
+		if v := g.epoch.Load(); v != last {
+			w.unpark()
+			return v
+		}
+		w.block()
 		if v := g.epoch.Load(); v != last {
 			return v
 		}
 	}
-	w := &g.workers[i]
-	w.park()
-	if v := g.epoch.Load(); v != last {
-		w.unpark()
-		return v
-	}
-	w.block()
-	return g.epoch.Load()
 }
 
 // finish marks worker i's phase work complete, waking the coordinator on
