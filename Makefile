@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-check bench-quick chaos fuzz golden ci
+.PHONY: build vet test test-short test-race bench bench-check bench-quick chaos fuzz golden scale-smoke ci
 
 ## build: compile every package (the tier-1 gate's first half)
 build:
@@ -50,6 +50,14 @@ fuzz:
 ## determinism changes only)
 golden:
 	$(GO) test ./cmd/mmnet -run TestGoldenTranscripts -update
+
+## scale-smoke: the 10⁷-node acceptance gate of the implicit-topology
+## substrate — a census over ring:10000000 runs without ever materializing
+## the edge set (the topology itself is O(1) memory; peak RSS is all
+## per-node engine/protocol state). GOMEMLIMIT pins the peak to ~5.6 GiB so
+## the job fits 7 GB CI runners; ~2.5 min on 1 core.
+scale-smoke:
+	GOGC=50 GOMEMLIMIT=5GiB $(GO) run ./cmd/mmnet -graph ring:10000000 -algo census -workers 1
 
 ## ci: the gates .github/workflows/ci.yml runs (its race job re-runs the
 ## short suite, differential seeds, and example smokes under -race)

@@ -51,7 +51,11 @@ type Row struct {
 	NodesPerSec float64 `json:"nodes_per_sec"`
 	Rounds      int     `json:"rounds,omitempty"`
 	Messages    int64   `json:"messages,omitempty"`
-	Note        string  `json:"note,omitempty"`
+	// Memory rows (nodes_per_sec 0, so the -compare wall-clock gate skips
+	// them): the heap cost of holding the topology itself.
+	Bytes        uint64  `json:"bytes,omitempty"`
+	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
+	Note         string  `json:"note,omitempty"`
 }
 
 // Report is the whole file.
@@ -174,6 +178,12 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	// Memory rows: bytes/node of holding each topology form of the same
+	// ring spec — the axis the implicit forms exist for.
+	if err := memRows(w, rep, scaleN); err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -278,6 +288,32 @@ func compareReports(w io.Writer, cur *Report, baselinePath string) error {
 		return fmt.Errorf("%d row(s) failed the gate vs %s: %v", len(regressions), baselinePath, regressions)
 	}
 	fmt.Fprintf(w, "compare: no row regressed >%.0f%% vs %s\n", (1-regressionTolerance)*100, baselinePath)
+	return nil
+}
+
+// memRows records the heap footprint of the two topology forms of one
+// ring spec. The implicit form's bytes are O(1) (the row shows ~0
+// bytes/node at any scale); the materialized form pays for the edge list
+// plus two weight-sorted adjacency halves per edge.
+func memRows(w io.Writer, rep *Report, n int) error {
+	for _, form := range []struct{ name, spec string }{
+		{"mem/ring-implicit", fmt.Sprintf("ring:%d", n)},
+		{"mem/ring-materialized", fmt.Sprintf("mat:ring:%d", n)},
+	} {
+		spec := form.spec
+		_, bytes, err := graph.TopoHeapCost(func() (graph.Topology, error) {
+			return graph.ParseSpec(spec, 1)
+		})
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, Row{
+			Name: form.name, Nodes: n, Bytes: bytes,
+			BytesPerNode: float64(bytes) / float64(n),
+			Note:         "heap cost of holding the topology (" + form.spec + ")",
+		})
+		fmt.Fprintf(w, "%-32s %12d bytes  (%.2f bytes/node)\n", form.name, bytes, float64(bytes)/float64(n))
+	}
 	return nil
 }
 

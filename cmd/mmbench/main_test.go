@@ -44,6 +44,8 @@ func TestBenchReportShape(t *testing.T) {
 		"scale/census-step":          false,
 		"scale/forest+coloring-step": false,
 		"scale/mst-merge-step":       false,
+		"mem/ring-implicit":          false,
+		"mem/ring-materialized":      false,
 	}
 	for _, row := range rep.Rows {
 		if _, ok := want[row.Name]; !ok {
@@ -51,6 +53,21 @@ func TestBenchReportShape(t *testing.T) {
 			continue
 		}
 		want[row.Name] = true
+		if strings.HasPrefix(row.Name, "mem/") {
+			// Memory rows carry bytes instead of wall-clock numbers. The
+			// implicit form's whole point is a footprint near zero, so only
+			// the materialized row must show real per-node weight.
+			if row.Nodes <= 0 {
+				t.Errorf("row %q has degenerate values: %+v", row.Name, row)
+			}
+			if row.Name == "mem/ring-materialized" && row.BytesPerNode < 24 {
+				t.Errorf("row %q: bytes/node %.2f implausibly small", row.Name, row.BytesPerNode)
+			}
+			if row.Name == "mem/ring-implicit" && row.Bytes > 1<<20 {
+				t.Errorf("row %q: implicit topology cost %d bytes; want O(1)", row.Name, row.Bytes)
+			}
+			continue
+		}
 		if row.NsPerOp <= 0 || row.NodesPerSec <= 0 || row.Nodes <= 0 {
 			t.Errorf("row %q has degenerate values: %+v", row.Name, row)
 		}

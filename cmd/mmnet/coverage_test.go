@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/difftest"
+	"repro/internal/graph"
 )
 
 // TestEveryAlgoHasEquivalenceCoverage is the CI gate of the differential
@@ -40,6 +41,31 @@ func TestAlgoNamesMatchSwitch(t *testing.T) {
 		var buf discard
 		if err := run(args, &buf); err != nil {
 			t.Errorf("-algo %s: %v", algo, err)
+		}
+	}
+}
+
+// TestEveryGraphNameRuns is the -graph coverage gate: every topology family
+// graph.SpecNames advertises must be reachable through the flag, both as a
+// bare name sized by -n (n=16 is a power of two, so even hypercube
+// resolves) and in at least one spec spelling. A generator that exists in
+// internal/graph but cannot be reached from the CLI fails here.
+func TestEveryGraphNameRuns(t *testing.T) {
+	for _, name := range graph.SpecNames() {
+		args := []string{"-graph", name, "-n", "16", "-algo", "census"}
+		var buf discard
+		if err := run(args, &buf); err != nil {
+			t.Errorf("-graph %s: %v", name, err)
+		}
+	}
+	for _, spec := range []string{
+		"ring:16", "path:16", "grid:4x4", "torus:4x4", "hypercube:4",
+		"star:16", "btree:16", "complete:8", "random:16,8", "ray:3,5",
+		"ba:16,2", "ws:16,4,0.1", "mat:ring:16",
+	} {
+		var buf discard
+		if err := run([]string{"-graph", spec, "-algo", "census"}, &buf); err != nil {
+			t.Errorf("-graph %s: %v", spec, err)
 		}
 	}
 }

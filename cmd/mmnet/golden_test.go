@@ -41,6 +41,13 @@ var goldenConfigs = []struct {
 	{"coloring-random26-step", []string{"-graph", "random", "-n", "26", "-extra", "18", "-algo", "coloring", "-engine", "step"}},
 	{"sync-sum-ring12-step", []string{"-graph", "ring", "-n", "12", "-algo", "sync-sum", "-engine", "step"}},
 	{"census-jammed-ring48-step", []string{"-graph", "ring", "-n", "48", "-algo", "census", "-faults", "seed:5;jam:1-20/p0.5"}},
+	// Implicit-topology runs: the O(1)-memory forms with hash-derived
+	// weights must stay transcript-stable too, and "mat:" must match them
+	// byte for byte apart from the spec echoed in the graph field.
+	{"census-ring64-implicit", []string{"-graph", "ring:64", "-algo", "census"}},
+	{"mst-hypercube4-implicit-step", []string{"-graph", "hypercube:4", "-algo", "mst", "-engine", "step"}},
+	{"sum-ws-small-world-step", []string{"-graph", "ws:24,4,0.2", "-algo", "sum", "-engine", "step"}},
+	{"forest-ba-scale-free-step", []string{"-graph", "ba:26,2", "-algo", "forest", "-engine", "step"}},
 	{"count-faulted-ring24-step", []string{"-graph", "ring", "-n", "24", "-algo", "count", "-engine", "step", "-faults", "seed:5;dup:*@2-20/p0.2/d2", "-max-rounds", "4000"}},
 }
 

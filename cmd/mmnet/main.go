@@ -21,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"strings"
 	"sync"
@@ -90,8 +89,8 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mmnet", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		gname     = fs.String("graph", "random", "topology: ring|path|grid|torus|random|complete|star|btree|ray")
-		n         = fs.Int("n", 256, "number of nodes (ring/path/random/complete/star/btree)")
+		gname     = fs.String("graph", "random", graph.SpecHelp())
+		n         = fs.Int("n", 256, "number of nodes (bare -graph names; hypercube wants a power of two)")
 		extra     = fs.Int("extra", 256, "extra edges beyond the spanning tree (random)")
 		rays      = fs.Int("rays", 8, "rays (ray graph)")
 		rayLen    = fs.Int("raylen", 8, "ray length (ray graph)")
@@ -125,7 +124,9 @@ func run(args []string, w io.Writer) error {
 	}
 	defer setSimDefaults(eng, *workers, plan, *maxRounds)()
 
-	g, err := makeGraph(*gname, *n, *extra, *rays, *rayLen, *seed)
+	g, err := graph.ParseSpecWith(*gname, *seed, graph.SpecDefaults{
+		N: *n, Extra: *extra, Rays: *rays, RayLen: *rayLen,
+	})
 	if err != nil {
 		return err
 	}
@@ -171,7 +172,7 @@ func run(args []string, w io.Writer) error {
 
 // runAlgo executes one algorithm and reports its outcome — the testable
 // core of the command.
-func runAlgo(algo string, g *graph.Graph, seed int64, variant, stage string) (*report, error) {
+func runAlgo(algo string, g graph.Topology, seed int64, variant, stage string) (*report, error) {
 	rep := &report{}
 	switch algo {
 	case "partition-det":
@@ -394,33 +395,6 @@ func runAlgo(algo string, g *graph.Graph, seed int64, variant, stage string) (*r
 }
 
 func inputs(v graph.NodeID) int64 { return (int64(v)*2654435761 + 17) % 10_000 }
-
-func makeGraph(name string, n, extra, rays, rayLen int, seed int64) (*graph.Graph, error) {
-	switch name {
-	case "ring":
-		return graph.Ring(n, seed)
-	case "path":
-		return graph.Path(n, seed)
-	case "grid":
-		side := int(math.Round(math.Sqrt(float64(n))))
-		return graph.Grid(side, (n+side-1)/side, seed)
-	case "torus":
-		side := int(math.Round(math.Sqrt(float64(n))))
-		return graph.Torus(side, side, seed)
-	case "random":
-		return graph.RandomConnected(n, extra, seed)
-	case "complete":
-		return graph.Complete(n, seed)
-	case "star":
-		return graph.Star(n, seed)
-	case "btree":
-		return graph.BinaryTree(n, seed)
-	case "ray":
-		return graph.Ray(rays, rayLen, seed)
-	default:
-		return nil, fmt.Errorf("unknown graph %q", name)
-	}
-}
 
 func printMetrics(w io.Writer, m *sim.Metrics) {
 	fmt.Fprintf(w, "time=%d rounds, messages=%d, slots: idle=%d success=%d collision=%d, communication=%d\n",

@@ -48,7 +48,9 @@ func (d diffTuple) String() string {
 }
 
 // makeTuple derives a tuple from raw draws (shared by the seeded table and
-// the fuzz target, so corpus entries map stably onto cases).
+// the fuzz target, so corpus entries map stably onto cases; selectors 0-3
+// keep their historical meaning — the committed corpus predates the
+// implicit/heavy-tailed additions in 4-7).
 func makeTuple(protoSel, topoSel, nSel uint8, gseed, seed int64, workerSel, planSel uint8) diffTuple {
 	protos := difftest.Protocols()
 	t := diffTuple{
@@ -59,7 +61,7 @@ func makeTuple(protoSel, topoSel, nSel uint8, gseed, seed int64, workerSel, plan
 		workers: []int{1, 2, 5}[int(workerSel)%3],
 		plan:    diffFaultPlans[int(planSel)%len(diffFaultPlans)],
 	}
-	switch topoSel % 4 {
+	switch topoSel % 8 {
 	case 0:
 		t.graph = "ring"
 	case 1:
@@ -67,13 +69,21 @@ func makeTuple(protoSel, topoSel, nSel uint8, gseed, seed int64, workerSel, plan
 	case 2:
 		t.graph = "random"
 		t.extra = t.n
-	default:
+	case 3:
 		t.graph = "star"
+	case 4:
+		t.graph = "ring-implicit"
+	case 5:
+		t.graph = "btree-implicit"
+	case 6:
+		t.graph = "ba"
+	default:
+		t.graph = "ws"
 	}
 	return t
 }
 
-func (d diffTuple) makeGraph() (*graph.Graph, error) {
+func (d diffTuple) makeGraph() (graph.Topology, error) {
 	switch d.graph {
 	case "ring":
 		return graph.Ring(d.n, d.gseed)
@@ -83,6 +93,14 @@ func (d diffTuple) makeGraph() (*graph.Graph, error) {
 		return graph.RandomConnected(d.n, d.extra, d.gseed)
 	case "star":
 		return graph.Star(d.n, d.gseed)
+	case "ring-implicit":
+		return graph.ImplicitRing(d.n, d.gseed)
+	case "btree-implicit":
+		return graph.ImplicitBinaryTree(d.n, d.gseed)
+	case "ba":
+		return graph.BarabasiAlbert(d.n, 2, d.gseed)
+	case "ws":
+		return graph.WattsStrogatz(d.n, 4, 0.25, d.gseed)
 	default:
 		return nil, fmt.Errorf("unknown graph %q", d.graph)
 	}
@@ -152,6 +170,12 @@ func FuzzEngineEquivalence(f *testing.F) {
 	// mst (SleepUntilPulse barriers) under a jam window: pulse wakes that
 	// must survive fast-forwarding over jammed slots.
 	f.Add(uint8(3), uint8(0), uint8(12), int64(4), int64(6), uint8(2), uint8(2))
+	// census on an *implicit* ring (topoSel 4) under delays: the engine's
+	// no-linkAt path — LinkOf resolved by weight-rank arithmetic — must be
+	// transcript-identical to the goroutine engine on the same topology.
+	f.Add(uint8(10), uint8(4), uint8(20), int64(2), int64(3), uint8(1), uint8(5))
+	// mst on an implicit binary tree (topoSel 5), fault-free, workers 5.
+	f.Add(uint8(3), uint8(5), uint8(17), int64(8), int64(4), uint8(2), uint8(0))
 	f.Fuzz(func(t *testing.T, protoSel, topoSel, nSel uint8, gseed, seed int64, workerSel, planSel uint8) {
 		if gseed < 0 || seed < 0 {
 			t.Skip("negative seeds normalize to themselves; skip to keep the corpus tidy")

@@ -122,7 +122,7 @@ type outcome struct {
 	err   string
 }
 
-func capture(run func(g *graph.Graph, seed int64) (any, error), g *graph.Graph, seed int64) outcome {
+func capture(run func(g graph.Topology, seed int64) (any, error), g graph.Topology, seed int64) outcome {
 	v, err := run(g, seed)
 	if err != nil {
 		return outcome{err: err.Error()}

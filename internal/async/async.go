@@ -162,7 +162,7 @@ func (q *eventQueue) Pop() any {
 }
 
 type engine struct {
-	g      *graph.Graph
+	g      graph.Topology
 	rng    *rand.Rand
 	queue  eventQueue
 	seq    int64
@@ -187,7 +187,7 @@ var ErrRoundBudget = errors.New("async: round budget exhausted")
 // asynchronous network driven by the channel synchronizer. factory is
 // called once per node and returns that node's RoundFunc (a closure owning
 // its state). maxRounds bounds the number of pulses.
-func Run(g *graph.Graph, seed int64, maxRounds int, factory func(id graph.NodeID) RoundFunc) (*Metrics, error) {
+func Run(g graph.Topology, seed int64, maxRounds int, factory func(id graph.NodeID) RoundFunc) (*Metrics, error) {
 	eng := &engine{
 		g:         g,
 		rng:       rand.New(rand.NewSource(seed)),

@@ -47,7 +47,7 @@ func (r *SyncResult) Overhead() float64 {
 // syncPort adapts a sim node handle to the Port a RoundFunc drives.
 type syncPort struct {
 	id      graph.NodeID
-	g       *graph.Graph
+	g       graph.Topology
 	send    func(link int, p sim.Payload)
 	halted  bool
 	algSent int64
@@ -139,7 +139,7 @@ func (st *syncState) record() any {
 }
 
 // syncProgram is the goroutine form.
-func syncProgram(g *graph.Graph, maxRounds int, factory func(id graph.NodeID) RoundFunc) sim.Program {
+func syncProgram(g graph.Topology, maxRounds int, factory func(id graph.NodeID) RoundFunc) sim.Program {
 	return func(c *sim.Ctx) error {
 		port := &syncPort{id: c.ID(), g: g, send: c.Send}
 		st := newSyncState(port, factory(c.ID()), maxRounds)
@@ -189,7 +189,7 @@ func (m *syncMachine) Step(in sim.Input) bool {
 
 func (m *syncMachine) Result() any { return m.result }
 
-func syncStepProgram(g *graph.Graph, maxRounds int, factory func(id graph.NodeID) RoundFunc) sim.StepProgram {
+func syncStepProgram(g graph.Topology, maxRounds int, factory func(id graph.NodeID) RoundFunc) sim.StepProgram {
 	return func(c *sim.StepCtx) sim.Machine {
 		port := &syncPort{id: c.ID(), g: g, send: c.Send}
 		return &syncMachine{
@@ -204,7 +204,7 @@ func syncStepProgram(g *graph.Graph, maxRounds int, factory func(id graph.NodeID
 // sim.DefaultEngine, driven by the §7.1 channel synchronizer. factory is
 // called once per node and returns that node's RoundFunc; maxRounds bounds
 // the number of simulated rounds.
-func Sync(g *graph.Graph, seed int64, maxRounds int, factory func(id graph.NodeID) RoundFunc) (*SyncResult, error) {
+func Sync(g graph.Topology, seed int64, maxRounds int, factory func(id graph.NodeID) RoundFunc) (*SyncResult, error) {
 	var res *sim.Result
 	var err error
 	if sim.DefaultEngine == sim.EngineStep {

@@ -62,9 +62,9 @@ type Injector struct {
 	jams        []jrule
 }
 
-// Compile validates the plan against g and builds its injector. A nil or
-// empty plan compiles to a nil injector and no error.
-func Compile(p *Plan, g *graph.Graph) (*Injector, error) {
+// Compile validates the plan against g (any topology form) and builds its
+// injector. A nil or empty plan compiles to a nil injector and no error.
+func Compile(p *Plan, g graph.Topology) (*Injector, error) {
 	if p.Empty() {
 		return nil, nil
 	}

@@ -197,8 +197,8 @@ func ruleString(r *Rule) string {
 	return b.String()
 }
 
-// validate checks the plan against a concrete graph.
-func (p *Plan) validate(g *graph.Graph) error {
+// validate checks the plan against a concrete topology.
+func (p *Plan) validate(g graph.Topology) error {
 	for i := range p.Rules {
 		r := &p.Rules[i]
 		if err := r.validate(g); err != nil {
@@ -208,7 +208,7 @@ func (p *Plan) validate(g *graph.Graph) error {
 	return nil
 }
 
-func (r *Rule) validate(g *graph.Graph) error {
+func (r *Rule) validate(g graph.Topology) error {
 	from, until := r.window()
 	if from < 1 {
 		return fmt.Errorf("round window starts at %d, want ≥ 1", from)

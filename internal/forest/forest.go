@@ -16,7 +16,7 @@ import (
 // paper's terminology) Parent[v] == -1 and ParentEdge[v] == -1; for every
 // other vertex ParentEdge[v] is the graph edge connecting v to Parent[v].
 type Forest struct {
-	G          *graph.Graph
+	G          graph.Topology
 	Parent     []graph.NodeID
 	ParentEdge []int
 
@@ -28,7 +28,7 @@ type Forest struct {
 var ErrInvalidForest = errors.New("forest: invalid spanning forest")
 
 // New validates parent pointers against g and precomputes roots and depths.
-func New(g *graph.Graph, parent []graph.NodeID, parentEdge []int) (*Forest, error) {
+func New(g graph.Topology, parent []graph.NodeID, parentEdge []int) (*Forest, error) {
 	n := g.N()
 	if len(parent) != n || len(parentEdge) != n {
 		return nil, fmt.Errorf("%w: got %d parents and %d parent edges for %d nodes",

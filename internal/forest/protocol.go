@@ -223,7 +223,7 @@ func (st *bfsState) record() any {
 // BFS grows the spanning forest of g from node 0 on sim.DefaultEngine and
 // validates it. Every node also learns n (the convergecast total), returned
 // for cross-checking.
-func BFS(g *graph.Graph, seed int64) (*Forest, int, sim.Metrics, error) {
+func BFS(g graph.Topology, seed int64) (*Forest, int, sim.Metrics, error) {
 	var res *sim.Result
 	var err error
 	if sim.DefaultEngine == sim.EngineStep {

@@ -26,7 +26,7 @@ type (
 // build a BFS tree from the distinguished leader (node 0, as in the paper's
 // remark on the known-leader case), convergecast partials, broadcast the
 // result. Θ(d) time, O(m + n) messages; the channel is never used.
-func PointToPoint(g *graph.Graph, seed int64, op Op, in Inputs) (*Result, error) {
+func PointToPoint(g graph.Topology, seed int64, op Op, in Inputs) (*Result, error) {
 	res, err := sim.Run(g, p2pProgram(op, in), sim.WithSeed(seed))
 	if err != nil {
 		return nil, fmt.Errorf("globalfunc: p2p baseline: %w", err)
@@ -146,7 +146,7 @@ func p2pProgram(op Op, in Inputs) sim.Program {
 // everything heard. Deterministic scheduling uses Capetanakis over the full
 // id space (Θ(n) slots); randomized uses Metcalfe–Boggs (Θ(n) expected).
 // The point-to-point network is never used.
-func BroadcastOnly(g *graph.Graph, seed int64, op Op, in Inputs, stage Stage) (*Result, error) {
+func BroadcastOnly(g graph.Topology, seed int64, op Op, in Inputs, stage Stage) (*Result, error) {
 	prog := func(c *sim.Ctx) error {
 		id := c.ID()
 		var sched []resolve.ScheduledItem

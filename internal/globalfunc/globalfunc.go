@@ -54,7 +54,7 @@ var (
 type Inputs func(v graph.NodeID) int64
 
 // Reference computes the function sequentially (ground truth for tests).
-func Reference(g *graph.Graph, op Op, in Inputs) int64 {
+func Reference(g graph.Topology, op Op, in Inputs) int64 {
 	acc := in(0)
 	for v := 1; v < g.N(); v++ {
 		acc = op.Combine(acc, in(graph.NodeID(v)))
@@ -117,7 +117,7 @@ func collectValue(results []any) (int64, error) {
 
 // Multimedia computes the function on the multimedia network: partition,
 // local convergecast, global channel scheduling.
-func Multimedia(g *graph.Graph, seed int64, op Op, in Inputs, variant Variant, stage Stage) (*Result, error) {
+func Multimedia(g graph.Topology, seed int64, op Op, in Inputs, variant Variant, stage Stage) (*Result, error) {
 	n := g.N()
 	var (
 		f    *forest.Forest

@@ -160,7 +160,7 @@ func (m *p2pMachine) Result() any { return m.result }
 // PointToPointStep computes the function on the pure point-to-point network
 // with the native step engine — the same protocol, results, and metrics as
 // PointToPoint, at million-node scale.
-func PointToPointStep(g *graph.Graph, seed int64, op Op, in Inputs, opts ...sim.Option) (*Result, error) {
+func PointToPointStep(g graph.Topology, seed int64, op Op, in Inputs, opts ...sim.Option) (*Result, error) {
 	opts = append([]sim.Option{sim.WithSeed(seed)}, opts...)
 	res, err := sim.RunStep(g, P2PStepProgram(op, in), opts...)
 	if err != nil {

@@ -10,8 +10,8 @@ type BFS struct {
 	Order  []NodeID // nodes in visit order (root first)
 }
 
-// NewBFS runs a breadth-first search over g from root.
-func NewBFS(g *Graph, root NodeID) *BFS {
+// NewBFS runs a breadth-first search over any topology from root.
+func NewBFS(g Topology, root NodeID) *BFS {
 	b := &BFS{
 		Root:   root,
 		Parent: make([]NodeID, g.N()),
@@ -23,11 +23,13 @@ func NewBFS(g *Graph, root NodeID) *BFS {
 	}
 	b.Dist[root] = 0
 	queue := []NodeID{root}
+	var adj []Half // reused across nodes: implicit forms compute Adj per call
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
 		b.Order = append(b.Order, v)
-		for _, h := range g.Adj(v) {
+		adj = g.AdjAppend(v, adj[:0])
+		for _, h := range adj {
 			if b.Dist[h.To] == -1 {
 				b.Dist[h.To] = b.Dist[v] + 1
 				b.Parent[h.To] = v
@@ -55,7 +57,7 @@ func (b *BFS) Eccentricity() int {
 // Diameter returns the exact hop diameter of a connected graph by running a
 // BFS from every node. It is O(n·m) and intended for the modest sizes used in
 // tests and experiments.
-func Diameter(g *Graph) int {
+func Diameter(g Topology) int {
 	d := 0
 	for v := 0; v < g.N(); v++ {
 		ecc := NewBFS(g, NodeID(v)).Eccentricity()
@@ -68,7 +70,7 @@ func Diameter(g *Graph) int {
 
 // DiameterLowerBound returns a lower bound on the diameter via a double
 // sweep (two BFS passes); exact on trees and usually tight in practice.
-func DiameterLowerBound(g *Graph) int {
+func DiameterLowerBound(g Topology) int {
 	first := NewBFS(g, 0)
 	far := NodeID(0)
 	for v, d := range first.Dist {

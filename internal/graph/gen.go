@@ -89,10 +89,21 @@ func Torus(rows, cols int, seed int64) (*Graph, error) {
 	return buildFrom(rows*cols, edges, seed)
 }
 
-// Complete returns the complete graph K_n.
+// MaxCompleteEdges caps Complete: K_n is materialized — edge list plus two
+// adjacency halves per edge, roughly 72 bytes each — so n(n-1)/2 edges past
+// ~2^25 (≈ 8200 nodes, ≈ 2.4 GiB) turn a typo like `complete:1000000` into
+// an OOM kill instead of an error. Kept far above every experiment size.
+const MaxCompleteEdges = 1 << 25
+
+// Complete returns the complete graph K_n, for n(n-1)/2 <= MaxCompleteEdges.
 func Complete(n int, seed int64) (*Graph, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("graph: complete needs n >= 2, got %d", n)
+	}
+	// The n > 2^16 pre-check keeps n*(n-1) far from int overflow.
+	if m := n * (n - 1) / 2; n > 1<<16 || m > MaxCompleteEdges {
+		return nil, fmt.Errorf("graph: complete on %d nodes needs %d edges, above the %d cap (see MaxCompleteEdges)",
+			n, m, MaxCompleteEdges)
 	}
 	var edges []Edge
 	for i := 0; i < n; i++ {

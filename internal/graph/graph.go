@@ -7,7 +7,6 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // NodeID identifies a node; nodes are numbered 0..n-1 as in the paper's
@@ -130,7 +129,7 @@ func (b *Builder) Build() (*Graph, error) {
 		g.adj[e.V] = append(g.adj[e.V], Half{To: e.U, Weight: e.Weight, EdgeID: id})
 	}
 	for v := range g.adj {
-		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i].Weight < g.adj[v][j].Weight })
+		sortHalves(g.adj[v])
 	}
 	return g, nil
 }

@@ -1,0 +1,452 @@
+package graph
+
+// implicit.go provides the implicit, O(1)-memory-per-query Topology forms:
+// ring, path, grid, torus, hypercube, star, and binary tree. Each keeps a
+// handful of integers — never an edge list — and computes degree, neighbor
+// set, edge endpoints, and weights arithmetically from the node id, the
+// canonical edge numbering, and a seed. Adjacency is presented sorted by
+// ascending weight, exactly like *Graph, by sorting the (constant-size)
+// computed neighbor set per query; the only exception is the star's hub,
+// whose n-1 links cannot be weight-ordered in O(1), so its sorted adjacency
+// is cached once at construction (O(n) for one node versus O(n + m) for the
+// whole materialized graph).
+//
+// Edge ids are canonical per family (documented on each constructor), and
+// weights come from implicitWeight (topology.go), so Materialize yields a
+// transcript-identical *Graph for any spec where both forms fit in memory.
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// implicitMaxEdges bounds implicit forms to edge ids representable in the
+// low 31 bits of a weight (implicitWeight's distinctness guarantee).
+const implicitMaxEdges = 1 << 31
+
+// nbr is one computed incidence: a neighbor and the id of the shared edge.
+type nbr struct {
+	to NodeID
+	id int
+}
+
+// Implicit is an implicit topology: n, m, a seed, and the three arithmetic
+// queries of one family. All methods are pure (the optional hub cache is
+// built at construction), hence safe for concurrent use.
+type Implicit struct {
+	spec string // canonical spec string, e.g. "ring:1024"
+	n, m int
+	seed int64
+
+	deg  func(v NodeID) int
+	nbrs func(v NodeID, buf []nbr) []nbr // v's incidences, any order
+	ends func(id int) (u, v NodeID)      // endpoints of edge id, u < v except ring wrap
+
+	hub    NodeID // node with a cached adjacency (-1 if none); the star's center
+	hubAdj []Half // hub's sorted-by-weight adjacency
+}
+
+// Spec returns the canonical spec string the topology was built from.
+func (t *Implicit) Spec() string { return t.spec }
+
+// N returns the number of nodes.
+func (t *Implicit) N() int { return t.n }
+
+// M returns the number of edges.
+func (t *Implicit) M() int { return t.m }
+
+// Degree returns the degree of v.
+func (t *Implicit) Degree(v NodeID) int { return t.deg(v) }
+
+// Edge returns the edge with the given id.
+func (t *Implicit) Edge(id int) Edge {
+	if id < 0 || id >= t.m {
+		panic(fmt.Sprintf("graph: %s: edge id %d out of range [0,%d)", t.spec, id, t.m))
+	}
+	u, v := t.ends(id)
+	return Edge{U: u, V: v, Weight: implicitWeight(t.seed, u, v, id)}
+}
+
+// weightOf is implicitWeight over one computed incidence.
+func (t *Implicit) weightOf(v NodeID, b nbr) Weight {
+	return implicitWeight(t.seed, v, b.to, b.id)
+}
+
+// AdjAppend appends v's links, sorted by ascending weight, to buf.
+func (t *Implicit) AdjAppend(v NodeID, buf []Half) []Half {
+	if v == t.hub {
+		return append(buf, t.hubAdj...)
+	}
+	var arr [implicitStackDegree]nbr
+	start := len(buf)
+	for _, b := range t.nbrs(v, arr[:0]) {
+		buf = append(buf, Half{To: b.to, Weight: t.weightOf(v, b), EdgeID: b.id})
+	}
+	sortHalves(buf[start:])
+	return buf
+}
+
+// Adj returns v's links sorted by ascending weight, freshly allocated on
+// every call (except the cached hub). Hot paths should use AdjAppend,
+// HalfAt, or LinkIndex instead.
+func (t *Implicit) Adj(v NodeID) []Half {
+	if v == t.hub {
+		return t.hubAdj
+	}
+	return t.AdjAppend(v, nil)
+}
+
+// implicitStackDegree is the neighbor-buffer size the per-query paths keep
+// on the stack; every implicit family except the star hub has degree ≤ 30
+// (the hypercube's dimension cap), and the hub never takes these paths.
+const implicitStackDegree = 32
+
+// HalfAt returns v's link with the given local index in sorted order.
+func (t *Implicit) HalfAt(v NodeID, link int) Half {
+	if v == t.hub {
+		return t.hubAdj[link]
+	}
+	var narr [implicitStackDegree]nbr
+	var harr [implicitStackDegree]Half
+	halves := harr[:0]
+	for _, b := range t.nbrs(v, narr[:0]) {
+		halves = append(halves, Half{To: b.to, Weight: t.weightOf(v, b), EdgeID: b.id})
+	}
+	if link < 0 || link >= len(halves) {
+		panic(fmt.Sprintf("graph: %s: node %d link %d of %d", t.spec, v, link, len(halves)))
+	}
+	sortHalves(halves)
+	return halves[link]
+}
+
+// LinkIndex returns the local link index at v of the given edge id: the
+// rank of that edge's weight among v's incident weights.
+func (t *Implicit) LinkIndex(v NodeID, edgeID int) (int, bool) {
+	if edgeID < 0 || edgeID >= t.m {
+		return 0, false
+	}
+	if v == t.hub {
+		e := t.Edge(edgeID)
+		if e.U != v && e.V != v {
+			return 0, false
+		}
+		return searchHalves(t.hubAdj, e.Weight)
+	}
+	var narr [implicitStackDegree]nbr
+	found := false
+	var w Weight
+	incs := t.nbrs(v, narr[:0])
+	for _, b := range incs {
+		if b.id == edgeID {
+			w = t.weightOf(v, b)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	rank := 0
+	for _, b := range incs {
+		if t.weightOf(v, b) < w {
+			rank++
+		}
+	}
+	return rank, true
+}
+
+// searchHalves binary-searches a sorted adjacency for the link with the
+// given weight.
+func searchHalves(adj []Half, w Weight) (int, bool) {
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid].Weight < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(adj) && adj[lo].Weight == w {
+		return lo, true
+	}
+	return 0, false
+}
+
+var _ Topology = (*Implicit)(nil)
+
+// newImplicit fills the family-independent fields and validates the size.
+func newImplicit(spec string, n, m int, seed int64) (*Implicit, error) {
+	if m > implicitMaxEdges {
+		return nil, fmt.Errorf("graph: %s: %d edges exceed the implicit cap of %d", spec, m, implicitMaxEdges)
+	}
+	return &Implicit{spec: spec, n: n, m: m, seed: seed, hub: -1}, nil
+}
+
+// ImplicitRing returns the implicit n-cycle: edge i joins i and (i+1) mod n.
+func ImplicitRing(n int, seed int64) (*Implicit, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: ring needs n >= 3, got %d", n)
+	}
+	t, err := newImplicit(fmt.Sprintf("ring:%d", n), n, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	t.deg = func(NodeID) int { return 2 }
+	t.nbrs = func(v NodeID, buf []nbr) []nbr {
+		prev := (int(v) + n - 1) % n
+		return append(buf,
+			nbr{to: NodeID(prev), id: prev},
+			nbr{to: NodeID((int(v) + 1) % n), id: int(v)})
+	}
+	t.ends = func(id int) (NodeID, NodeID) { return NodeID(id), NodeID((id + 1) % n) }
+	return t, nil
+}
+
+// ImplicitPath returns the implicit n-node path: edge i joins i and i+1.
+func ImplicitPath(n int, seed int64) (*Implicit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: path needs n >= 2, got %d", n)
+	}
+	t, err := newImplicit(fmt.Sprintf("path:%d", n), n, n-1, seed)
+	if err != nil {
+		return nil, err
+	}
+	t.deg = func(v NodeID) int {
+		if v == 0 || int(v) == n-1 {
+			return 1
+		}
+		return 2
+	}
+	t.nbrs = func(v NodeID, buf []nbr) []nbr {
+		if v > 0 {
+			buf = append(buf, nbr{to: v - 1, id: int(v) - 1})
+		}
+		if int(v) < n-1 {
+			buf = append(buf, nbr{to: v + 1, id: int(v)})
+		}
+		return buf
+	}
+	t.ends = func(id int) (NodeID, NodeID) { return NodeID(id), NodeID(id + 1) }
+	return t, nil
+}
+
+// ImplicitGrid returns the implicit rows×cols mesh; node (r,c) has id
+// r*cols+c. Horizontal edges come first — edge r*(cols-1)+c joins (r,c) and
+// (r,c+1) — then vertical: edge rows*(cols-1) + r*cols+c joins (r,c) and
+// (r+1,c).
+func ImplicitGrid(rows, cols int, seed int64) (*Implicit, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("graph: grid needs at least 2 nodes, got %dx%d", rows, cols)
+	}
+	h := rows * (cols - 1)
+	m := h + (rows-1)*cols
+	t, err := newImplicit(fmt.Sprintf("grid:%dx%d", rows, cols), rows*cols, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	t.deg = func(v NodeID) int {
+		r, c := int(v)/cols, int(v)%cols
+		d := 0
+		if c > 0 {
+			d++
+		}
+		if c < cols-1 {
+			d++
+		}
+		if r > 0 {
+			d++
+		}
+		if r < rows-1 {
+			d++
+		}
+		return d
+	}
+	t.nbrs = func(v NodeID, buf []nbr) []nbr {
+		r, c := int(v)/cols, int(v)%cols
+		if c > 0 {
+			buf = append(buf, nbr{to: v - 1, id: r*(cols-1) + c - 1})
+		}
+		if c < cols-1 {
+			buf = append(buf, nbr{to: v + 1, id: r*(cols-1) + c})
+		}
+		if r > 0 {
+			buf = append(buf, nbr{to: v - NodeID(cols), id: h + (r-1)*cols + c})
+		}
+		if r < rows-1 {
+			buf = append(buf, nbr{to: v + NodeID(cols), id: h + r*cols + c})
+		}
+		return buf
+	}
+	t.ends = func(id int) (NodeID, NodeID) {
+		if id < h {
+			r, c := id/(cols-1), id%(cols-1)
+			u := NodeID(r*cols + c)
+			return u, u + 1
+		}
+		id -= h
+		u := NodeID(id)
+		return u, u + NodeID(cols)
+	}
+	return t, nil
+}
+
+// ImplicitTorus returns the implicit rows×cols grid with wraparound links.
+// Horizontal edge r*cols+c joins (r,c) and (r,(c+1) mod cols); vertical
+// edge rows*cols + r*cols+c joins (r,c) and ((r+1) mod rows,c).
+func ImplicitTorus(rows, cols int, seed int64) (*Implicit, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs rows, cols >= 3, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	t, err := newImplicit(fmt.Sprintf("torus:%dx%d", rows, cols), n, 2*n, seed)
+	if err != nil {
+		return nil, err
+	}
+	t.deg = func(NodeID) int { return 4 }
+	t.nbrs = func(v NodeID, buf []nbr) []nbr {
+		r, c := int(v)/cols, int(v)%cols
+		left := r*cols + (c+cols-1)%cols
+		up := ((r+rows-1)%rows)*cols + c
+		return append(buf,
+			nbr{to: NodeID(left), id: left},
+			nbr{to: NodeID(r*cols + (c+1)%cols), id: int(v)},
+			nbr{to: NodeID(up), id: n + up},
+			nbr{to: NodeID(((r+1)%rows)*cols + c), id: n + int(v)})
+	}
+	t.ends = func(id int) (NodeID, NodeID) {
+		if id < n {
+			r, c := id/cols, id%cols
+			return NodeID(id), NodeID(r*cols + (c+1)%cols)
+		}
+		id -= n
+		r, c := id/cols, id%cols
+		return NodeID(id), NodeID(((r+1)%rows)*cols + c)
+	}
+	return t, nil
+}
+
+// ImplicitHypercube returns the implicit dim-dimensional hypercube on 2^dim
+// nodes, adjacent iff ids differ in one bit. Edge ids group by flipped bit:
+// edge b*2^(dim-1) + squash(v, b) joins v (bit b clear) and v | 1<<b, where
+// squash removes bit b from v.
+func ImplicitHypercube(dim int, seed int64) (*Implicit, error) {
+	if dim < 1 || dim > 30 {
+		return nil, fmt.Errorf("graph: hypercube needs 1 <= dim <= 30, got %d", dim)
+	}
+	n := 1 << dim
+	half := n >> 1
+	t, err := newImplicit(fmt.Sprintf("hypercube:%d", dim), n, dim*half, seed)
+	if err != nil {
+		return nil, err
+	}
+	t.deg = func(NodeID) int { return dim }
+	t.nbrs = func(v NodeID, buf []nbr) []nbr {
+		for b := 0; b < dim; b++ {
+			lowMask := (1 << b) - 1
+			base := int(v) &^ (1 << b)
+			squashed := (base & lowMask) | ((base >> (b + 1)) << b)
+			buf = append(buf, nbr{to: v ^ NodeID(1<<b), id: b*half + squashed})
+		}
+		return buf
+	}
+	t.ends = func(id int) (NodeID, NodeID) {
+		b, squashed := id/half, id%half
+		lowMask := (1 << b) - 1
+		u := (squashed & lowMask) | ((squashed >> b) << (b + 1))
+		return NodeID(u), NodeID(u | 1<<b)
+	}
+	return t, nil
+}
+
+// ImplicitStar returns the implicit star with center 0: edge i joins 0 and
+// i+1. The center's n-1 links cannot be weight-ordered in O(1), so its
+// sorted adjacency is cached at construction — O(n) memory for the hub,
+// O(1) for every leaf.
+func ImplicitStar(n int, seed int64) (*Implicit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: star needs n >= 2, got %d", n)
+	}
+	t, err := newImplicit(fmt.Sprintf("star:%d", n), n, n-1, seed)
+	if err != nil {
+		return nil, err
+	}
+	t.deg = func(v NodeID) int {
+		if v == 0 {
+			return n - 1
+		}
+		return 1
+	}
+	t.nbrs = func(v NodeID, buf []nbr) []nbr {
+		// Only leaves take this path; the hub answers from hubAdj.
+		return append(buf, nbr{to: 0, id: int(v) - 1})
+	}
+	t.ends = func(id int) (NodeID, NodeID) { return 0, NodeID(id + 1) }
+	t.hub = 0
+	t.hubAdj = make([]Half, 0, n-1)
+	for i := 1; i < n; i++ {
+		t.hubAdj = append(t.hubAdj, Half{
+			To: NodeID(i), Weight: implicitWeight(seed, 0, NodeID(i), i-1), EdgeID: i - 1,
+		})
+	}
+	sortHalves(t.hubAdj)
+	return t, nil
+}
+
+// ImplicitBinaryTree returns the implicit binary tree where node i has
+// parent (i-1)/2: edge i joins (i)/2 — that is, (i+1-1)/2 — and i+1.
+func ImplicitBinaryTree(n int, seed int64) (*Implicit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: binary tree needs n >= 2, got %d", n)
+	}
+	t, err := newImplicit(fmt.Sprintf("btree:%d", n), n, n-1, seed)
+	if err != nil {
+		return nil, err
+	}
+	t.deg = func(v NodeID) int {
+		d := 0
+		if v > 0 {
+			d++
+		}
+		if 2*int(v)+1 < n {
+			d++
+		}
+		if 2*int(v)+2 < n {
+			d++
+		}
+		return d
+	}
+	t.nbrs = func(v NodeID, buf []nbr) []nbr {
+		if v > 0 {
+			buf = append(buf, nbr{to: (v - 1) / 2, id: int(v) - 1})
+		}
+		if c := 2*int(v) + 1; c < n {
+			buf = append(buf, nbr{to: NodeID(c), id: c - 1})
+		}
+		if c := 2*int(v) + 2; c < n {
+			buf = append(buf, nbr{to: NodeID(c), id: c - 1})
+		}
+		return buf
+	}
+	t.ends = func(id int) (NodeID, NodeID) { return NodeID(id / 2), NodeID(id + 1) }
+	return t, nil
+}
+
+// squareSides resolves a node-count spec for grid/torus the way cmd/mmnet
+// always has: a near-square rows×cols with rows*cols >= n.
+func squareSides(n int) (rows, cols int) {
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1
+	}
+	return side, (n + side - 1) / side
+}
+
+// log2Exact returns k with 2^k == n, or an error.
+func log2Exact(n int) (int, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("graph: hypercube node count %d is not a power of two", n)
+	}
+	return bits.TrailingZeros(uint(n)), nil
+}

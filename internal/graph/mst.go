@@ -1,7 +1,9 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -14,18 +16,18 @@ type MST struct {
 }
 
 // Kruskal computes the MST of a connected graph with the classic sequential
-// algorithm (sort edges, union-find). It returns an error if g is not
-// connected.
-func Kruskal(g *Graph) (*MST, error) {
-	if !g.Connected() {
+// algorithm (sort edges, union-find) over any Topology. It returns an error
+// if g is not connected.
+func Kruskal(g Topology) (*MST, error) {
+	if !ConnectedTopo(g) {
 		return nil, fmt.Errorf("graph: kruskal requires a connected graph")
 	}
 	order := make([]int, g.M())
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return g.Edge(order[a]).Weight < g.Edge(order[b]).Weight
+	slices.SortFunc(order, func(a, b int) int {
+		return cmp.Compare(g.Edge(a).Weight, g.Edge(b).Weight)
 	})
 	uf := NewUnionFind(g.N())
 	mst := &MST{}

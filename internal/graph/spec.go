@@ -1,0 +1,233 @@
+package graph
+
+// spec.go is the one topology-spec grammar shared by the CLIs (mmnet,
+// mmexp, mmbench) and the test harnesses, so `-graph ring:10000000` means
+// the same thing everywhere.
+//
+// Grammar:
+//
+//	spec     = ["mat:"] name [":" args]
+//	name     = ring|path|grid|torus|hypercube|star|btree|complete|random|ray|ba|ws
+//	args     = int | int "x" int | int "," ... (per family, see below)
+//
+// With args, the implicit-capable families (ring, path, grid, torus,
+// hypercube, star, btree) build the implicit O(1)-memory form with
+// hash-derived weights; the "mat:" prefix materializes the same topology
+// into a stored *Graph (identical ids, weights, and transcripts — the
+// cross-form determinism contract). The remaining families (complete,
+// random, ray, ba, ws) are always materialized, with the generators'
+// permutation weights.
+//
+// Without args, a bare name keeps the historical cmd/mmnet behavior: the
+// materialized generator of gen.go/scalefree.go sized by the Defaults
+// (-n/-extra/-rays/-raylen flags), with permutation weights — so existing
+// invocations and golden transcripts are unchanged.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SpecDefaults carries the legacy sizing flags bare-name specs fall back to.
+type SpecDefaults struct {
+	N      int // node count (most families)
+	Extra  int // extra edges (random), attachments per node (ba)
+	Rays   int // rays (ray)
+	RayLen int // ray length (ray)
+}
+
+// SpecNames lists every topology family ParseSpec accepts, in the order the
+// -graph flag documents them. cmd/mmnet's coverage test runs each one, so a
+// generator cannot be added here without being reachable from the CLI.
+func SpecNames() []string {
+	return []string{
+		"ring", "path", "grid", "torus", "hypercube", "star", "btree",
+		"complete", "random", "ray", "ba", "ws",
+	}
+}
+
+// SpecHelp is the -graph flag usage string.
+func SpecHelp() string {
+	return "topology: " + strings.Join(SpecNames(), "|") +
+		", sized by -n etc; or a spec like ring:10000000, grid:200x500, ba:5000,3, ws:5000,6,0.1 " +
+		"(implicit O(1)-memory form where available; mat: prefix materializes it)"
+}
+
+// ParseSpec parses a self-contained topology spec ("ring:1024"); bare names
+// are rejected because they need the legacy sizing defaults.
+func ParseSpec(spec string, seed int64) (Topology, error) {
+	return ParseSpecWith(spec, seed, SpecDefaults{})
+}
+
+// ParseSpecWith parses spec, resolving bare names against the given legacy
+// defaults (a zero Defaults rejects bare names).
+func ParseSpecWith(spec string, seed int64, d SpecDefaults) (Topology, error) {
+	materialize := false
+	if rest, ok := strings.CutPrefix(spec, "mat:"); ok {
+		materialize, spec = true, rest
+	}
+	name, args, hasArgs := strings.Cut(spec, ":")
+	t, err := buildSpec(name, args, hasArgs, seed, d)
+	if err != nil {
+		return nil, err
+	}
+	if materialize {
+		return Materialize(t)
+	}
+	return t, nil
+}
+
+func buildSpec(name, args string, hasArgs bool, seed int64, d SpecDefaults) (Topology, error) {
+	if !hasArgs {
+		return legacySpec(name, seed, d)
+	}
+	bad := func(want string) error {
+		return fmt.Errorf("graph: spec %s:%s: want %s:%s", name, args, name, want)
+	}
+	switch name {
+	case "ring", "path", "star", "btree", "complete":
+		n, err := strconv.Atoi(args)
+		if err != nil {
+			return nil, bad("N")
+		}
+		switch name {
+		case "ring":
+			return ImplicitRing(n, seed)
+		case "path":
+			return ImplicitPath(n, seed)
+		case "star":
+			return ImplicitStar(n, seed)
+		case "btree":
+			return ImplicitBinaryTree(n, seed)
+		default:
+			return Complete(n, seed)
+		}
+	case "grid", "torus":
+		rows, cols, err := parseSides(args)
+		if err != nil {
+			return nil, bad("RxC or N")
+		}
+		if name == "grid" {
+			return ImplicitGrid(rows, cols, seed)
+		}
+		return ImplicitTorus(rows, cols, seed)
+	case "hypercube":
+		dim, err := strconv.Atoi(args)
+		if err != nil {
+			return nil, bad("DIM")
+		}
+		return ImplicitHypercube(dim, seed)
+	case "random":
+		p, err := parseInts(args, 2)
+		if err != nil {
+			return nil, bad("N,EXTRA")
+		}
+		return RandomConnected(p[0], p[1], seed)
+	case "ray":
+		p, err := parseInts(args, 2)
+		if err != nil {
+			return nil, bad("RAYS,LEN")
+		}
+		return Ray(p[0], p[1], seed)
+	case "ba":
+		p, err := parseInts(args, 2)
+		if err != nil {
+			return nil, bad("N,ATTACH")
+		}
+		return BarabasiAlbert(p[0], p[1], seed)
+	case "ws":
+		var n, k int
+		var beta float64
+		parts := strings.Split(args, ",")
+		if len(parts) != 3 {
+			return nil, bad("N,K,BETA")
+		}
+		var err1, err2, err3 error
+		n, err1 = strconv.Atoi(parts[0])
+		k, err2 = strconv.Atoi(parts[1])
+		beta, err3 = strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, bad("N,K,BETA")
+		}
+		return WattsStrogatz(n, k, beta, seed)
+	default:
+		return nil, fmt.Errorf("graph: unknown topology %q (want %s)", name, strings.Join(SpecNames(), "|"))
+	}
+}
+
+// legacySpec resolves a bare family name against the sizing defaults, using
+// the historical materialized generators and weight scheme.
+func legacySpec(name string, seed int64, d SpecDefaults) (Topology, error) {
+	if d.N == 0 {
+		return nil, fmt.Errorf("graph: spec %q needs arguments (e.g. %s:1024)", name, name)
+	}
+	switch name {
+	case "ring":
+		return Ring(d.N, seed)
+	case "path":
+		return Path(d.N, seed)
+	case "grid":
+		rows, cols := squareSides(d.N)
+		return Grid(rows, cols, seed)
+	case "torus":
+		side, _ := squareSides(d.N)
+		return Torus(side, side, seed)
+	case "hypercube":
+		dim, err := log2Exact(d.N)
+		if err != nil {
+			return nil, err
+		}
+		return Hypercube(dim, seed)
+	case "star":
+		return Star(d.N, seed)
+	case "btree":
+		return BinaryTree(d.N, seed)
+	case "complete":
+		return Complete(d.N, seed)
+	case "random":
+		return RandomConnected(d.N, d.Extra, seed)
+	case "ray":
+		return Ray(d.Rays, d.RayLen, seed)
+	case "ba":
+		return BarabasiAlbert(d.N, 3, seed)
+	case "ws":
+		return WattsStrogatz(d.N, 4, 0.1, seed)
+	default:
+		return nil, fmt.Errorf("graph: unknown topology %q (want %s)", name, strings.Join(SpecNames(), "|"))
+	}
+}
+
+// parseSides parses "RxC" or a bare node count (resolved near-square).
+func parseSides(s string) (rows, cols int, err error) {
+	if r, c, ok := strings.Cut(s, "x"); ok {
+		rows, err1 := strconv.Atoi(r)
+		cols, err2 := strconv.Atoi(c)
+		if err1 != nil || err2 != nil {
+			return 0, 0, fmt.Errorf("bad sides %q", s)
+		}
+		return rows, cols, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	rows, cols = squareSides(n)
+	return rows, cols, nil
+}
+
+func parseInts(s string, want int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("want %d comma-separated ints, got %q", want, s)
+	}
+	out := make([]int, want)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,381 @@
+package graph
+
+import (
+	"testing"
+)
+
+// implicitCases enumerates every implicit family at a few sizes.
+func implicitCases(t *testing.T) map[string]*Implicit {
+	t.Helper()
+	cases := map[string]*Implicit{}
+	add := func(name string, top *Implicit, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cases[name] = top
+	}
+	r, err := ImplicitRing(17, 3)
+	add("ring17", r, err)
+	r, err = ImplicitRing(3, 5)
+	add("ring3", r, err)
+	p, err := ImplicitPath(2, 1)
+	add("path2", p, err)
+	p, err = ImplicitPath(23, 9)
+	add("path23", p, err)
+	g, err := ImplicitGrid(4, 7, 2)
+	add("grid4x7", g, err)
+	g, err = ImplicitGrid(1, 9, 2)
+	add("grid1x9", g, err)
+	g, err = ImplicitGrid(6, 1, 4)
+	add("grid6x1", g, err)
+	tor, err := ImplicitTorus(3, 5, 8)
+	add("torus3x5", tor, err)
+	h, err := ImplicitHypercube(4, 6)
+	add("hypercube4", h, err)
+	h, err = ImplicitHypercube(1, 6)
+	add("hypercube1", h, err)
+	s, err := ImplicitStar(29, 7)
+	add("star29", s, err)
+	s, err = ImplicitStar(2, 7)
+	add("star2", s, err)
+	b, err := ImplicitBinaryTree(21, 11)
+	add("btree21", b, err)
+	b, err = ImplicitBinaryTree(2, 11)
+	add("btree2", b, err)
+	return cases
+}
+
+// TestImplicitInvariants checks every implicit family against the Topology
+// contract: a simple connected graph, canonical edge ids that round-trip
+// through the incidence queries, distinct positive weights, and adjacency
+// sorted by ascending weight with Degree/HalfAt/LinkIndex/AdjAppend all
+// consistent with Adj.
+func TestImplicitInvariants(t *testing.T) {
+	for name, top := range implicitCases(t) {
+		t.Run(name, func(t *testing.T) {
+			n, m := top.N(), top.M()
+			if !ConnectedTopo(top) {
+				t.Fatalf("not connected")
+			}
+			weights := make(map[Weight]int, m)
+			degSum := 0
+			seenPair := make(map[[2]NodeID]bool, m)
+			for id := 0; id < m; id++ {
+				e := top.Edge(id)
+				if e.U == e.V || e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+					t.Fatalf("edge %d = {%d,%d} invalid", id, e.U, e.V)
+				}
+				if e.Weight <= 0 {
+					t.Fatalf("edge %d weight %d not positive", id, e.Weight)
+				}
+				if prev, dup := weights[e.Weight]; dup {
+					t.Fatalf("edges %d and %d share weight %d", prev, id, e.Weight)
+				}
+				weights[e.Weight] = id
+				key := normPair(e.U, e.V)
+				if seenPair[key] {
+					t.Fatalf("pair {%d,%d} appears twice", e.U, e.V)
+				}
+				seenPair[key] = true
+				// Incidence round-trips from both endpoints.
+				for _, v := range []NodeID{e.U, e.V} {
+					l, ok := top.LinkIndex(v, id)
+					if !ok {
+						t.Fatalf("LinkIndex(%d, %d) not incident", v, id)
+					}
+					h := top.HalfAt(v, l)
+					if h.EdgeID != id || h.To != e.Other(v) || h.Weight != e.Weight {
+						t.Fatalf("HalfAt(%d, %d) = %+v, want edge %d", v, l, h, id)
+					}
+				}
+			}
+			for v := NodeID(0); int(v) < n; v++ {
+				adj := top.Adj(v)
+				if len(adj) != top.Degree(v) {
+					t.Fatalf("node %d: len(Adj)=%d Degree=%d", v, len(adj), top.Degree(v))
+				}
+				degSum += len(adj)
+				appended := top.AdjAppend(v, []Half{{To: -1}})
+				if len(appended) != len(adj)+1 {
+					t.Fatalf("node %d: AdjAppend length %d", v, len(appended))
+				}
+				for l, h := range adj {
+					if l > 0 && adj[l-1].Weight >= h.Weight {
+						t.Fatalf("node %d adjacency not weight-sorted at %d", v, l)
+					}
+					if appended[l+1] != h {
+						t.Fatalf("node %d: AdjAppend[%d] = %+v, want %+v", v, l, appended[l+1], h)
+					}
+					if got := top.HalfAt(v, l); got != h {
+						t.Fatalf("node %d: HalfAt(%d) = %+v, want %+v", v, l, got, h)
+					}
+					if gotL, ok := top.LinkIndex(v, h.EdgeID); !ok || gotL != l {
+						t.Fatalf("node %d: LinkIndex(edge %d) = %d,%v, want %d", v, h.EdgeID, gotL, ok, l)
+					}
+				}
+			}
+			if degSum != 2*m {
+				t.Fatalf("degree sum %d, want 2m = %d", degSum, 2*m)
+			}
+			if _, ok := top.LinkIndex(0, m); ok {
+				t.Fatalf("LinkIndex accepted out-of-range edge id %d", m)
+			}
+		})
+	}
+}
+
+// TestMaterializeMatchesImplicit checks the cross-form contract at the
+// graph level: Materialize yields identical N, M, edges (ids, endpoints,
+// weights), and sorted adjacency — the structural half of transcript
+// identity.
+func TestMaterializeMatchesImplicit(t *testing.T) {
+	for name, top := range implicitCases(t) {
+		t.Run(name, func(t *testing.T) {
+			g, err := Materialize(top)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != top.N() || g.M() != top.M() {
+				t.Fatalf("materialized n=%d m=%d, implicit n=%d m=%d", g.N(), g.M(), top.N(), top.M())
+			}
+			for id := 0; id < g.M(); id++ {
+				if g.Edge(id) != top.Edge(id) {
+					t.Fatalf("edge %d: materialized %+v, implicit %+v", id, g.Edge(id), top.Edge(id))
+				}
+			}
+			for v := NodeID(0); int(v) < g.N(); v++ {
+				ga, ta := g.Adj(v), top.Adj(v)
+				if len(ga) != len(ta) {
+					t.Fatalf("node %d: adjacency lengths %d vs %d", v, len(ga), len(ta))
+				}
+				for l := range ga {
+					if ga[l] != ta[l] {
+						t.Fatalf("node %d link %d: materialized %+v, implicit %+v", v, l, ga[l], ta[l])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMaterializeGraphIdentity: a *Graph materializes to itself.
+func TestMaterializeGraphIdentity(t *testing.T) {
+	g, err := Ring(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Materialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Fatalf("Materialize(*Graph) returned a copy")
+	}
+}
+
+// TestGraphLinkIndex exercises the stored form's LinkIndex against Adj.
+func TestGraphLinkIndex(t *testing.T) {
+	g, err := RandomConnected(20, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		for l, h := range g.Adj(v) {
+			if got, ok := g.LinkIndex(v, h.EdgeID); !ok || got != l {
+				t.Fatalf("LinkIndex(%d, %d) = %d,%v, want %d", v, h.EdgeID, got, ok, l)
+			}
+		}
+	}
+	if _, ok := g.LinkIndex(0, g.M()); ok {
+		t.Fatal("LinkIndex accepted out-of-range edge id")
+	}
+	// Edge 0 is incident to exactly two nodes; everyone else must miss.
+	e := g.Edge(0)
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		_, ok := g.LinkIndex(v, 0)
+		if want := v == e.U || v == e.V; ok != want {
+			t.Fatalf("LinkIndex(%d, 0) incident=%v, want %v", v, ok, want)
+		}
+	}
+}
+
+// TestImplicitConstructorErrors checks size validation.
+func TestImplicitConstructorErrors(t *testing.T) {
+	if _, err := ImplicitRing(2, 1); err == nil {
+		t.Error("ring n=2 accepted")
+	}
+	if _, err := ImplicitPath(1, 1); err == nil {
+		t.Error("path n=1 accepted")
+	}
+	if _, err := ImplicitTorus(2, 3, 1); err == nil {
+		t.Error("torus 2x3 accepted")
+	}
+	if _, err := ImplicitHypercube(31, 1); err == nil {
+		t.Error("hypercube dim=31 accepted")
+	}
+	if _, err := ImplicitHypercube(29, 1); err == nil {
+		// 29*2^28 edges are past the implicit 2^31 edge-id cap.
+		t.Error("hypercube dim=29 accepted past the edge cap")
+	}
+	if _, err := ImplicitStar(1, 1); err == nil {
+		t.Error("star n=1 accepted")
+	}
+	if _, err := ImplicitBinaryTree(1, 1); err == nil {
+		t.Error("btree n=1 accepted")
+	}
+}
+
+// TestCompleteCap: the OOM guard rejects oversized complete graphs with a
+// clear error and accepts sizes under the cap.
+func TestCompleteCap(t *testing.T) {
+	if _, err := Complete(1_000_000, 1); err == nil {
+		t.Fatal("complete n=10^6 accepted; want cap error")
+	}
+	if _, err := Complete(64, 1); err != nil {
+		t.Fatalf("complete n=64: %v", err)
+	}
+}
+
+// TestImplicitScaleConstantMemory spot-checks the point of the exercise: a
+// 10^7-node implicit ring answers queries without materializing anything.
+func TestImplicitScaleConstantMemory(t *testing.T) {
+	const n = 10_000_000
+	top, err := ImplicitRing(n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.N() != n || top.M() != n {
+		t.Fatalf("n=%d m=%d", top.N(), top.M())
+	}
+	if d := top.Degree(n / 2); d != 2 {
+		t.Fatalf("degree %d", d)
+	}
+	e := top.Edge(n - 1) // the wrap edge
+	if e.U != n-1 || e.V != 0 {
+		t.Fatalf("wrap edge %+v", e)
+	}
+	adj := top.Adj(12345)
+	if len(adj) != 2 || adj[0].Weight >= adj[1].Weight {
+		t.Fatalf("adj %+v", adj)
+	}
+}
+
+// TestScaleFreeGenerators checks BA and WS shape invariants: connected,
+// simple, expected edge counts, and (for BA) a hub heavier than the ring
+// could ever produce.
+func TestScaleFreeGenerators(t *testing.T) {
+	g, err := BarabasiAlbert(500, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("BA graph disconnected")
+	}
+	wantM := 3*2 + (500-4)*3
+	if g.M() != wantM {
+		t.Fatalf("BA m=%d, want %d", g.M(), wantM)
+	}
+	maxDeg := 0
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 20 {
+		t.Fatalf("BA max degree %d; expected a heavy-tailed hub", maxDeg)
+	}
+
+	for _, beta := range []float64{0, 0.2, 1} {
+		ws, err := WattsStrogatz(200, 6, beta, 11)
+		if err != nil {
+			t.Fatalf("beta=%g: %v", beta, err)
+		}
+		if !ws.Connected() {
+			t.Fatalf("WS beta=%g disconnected", beta)
+		}
+		if ws.M() != 200*3 {
+			t.Fatalf("WS m=%d, want %d", ws.M(), 600)
+		}
+	}
+	if _, err := BarabasiAlbert(3, 3, 1); err == nil {
+		t.Error("BA n<attach+2 accepted")
+	}
+	if _, err := WattsStrogatz(10, 3, 0.1, 1); err == nil {
+		t.Error("WS odd k accepted")
+	}
+}
+
+// TestParseSpec covers the shared grammar: implicit specs, the mat: prefix,
+// legacy bare names with defaults, and error cases.
+func TestParseSpec(t *testing.T) {
+	top, err := ParseSpec("ring:64", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := top.(*Implicit); !ok {
+		t.Fatalf("ring:64 built %T, want *Implicit", top)
+	}
+	if top.N() != 64 {
+		t.Fatalf("n=%d", top.N())
+	}
+
+	mat, err := ParseSpec("mat:ring:64", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, ok := mat.(*Graph)
+	if !ok {
+		t.Fatalf("mat:ring:64 built %T, want *Graph", mat)
+	}
+	for id := 0; id < top.M(); id++ {
+		if mg.Edge(id) != top.Edge(id) {
+			t.Fatalf("edge %d differs across forms", id)
+		}
+	}
+
+	grid, err := ParseSpec("grid:3x9", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.N() != 27 {
+		t.Fatalf("grid:3x9 n=%d", grid.N())
+	}
+	if hc, err := ParseSpec("hypercube:5", 1); err != nil || hc.N() != 32 {
+		t.Fatalf("hypercube:5 -> %v, %v", hc, err)
+	}
+	if ws, err := ParseSpec("ws:64,4,0.25", 1); err != nil || ws.N() != 64 {
+		t.Fatalf("ws spec: %v", err)
+	}
+	if ba, err := ParseSpec("ba:64,2", 1); err != nil || ba.N() != 64 {
+		t.Fatalf("ba spec: %v", err)
+	}
+
+	// Legacy bare names resolve against defaults with generator weights.
+	d := SpecDefaults{N: 16, Extra: 8, Rays: 2, RayLen: 3}
+	for _, name := range SpecNames() {
+		if _, err := ParseSpecWith(name, 1, d); err != nil {
+			t.Errorf("bare %q with defaults: %v", name, err)
+		}
+	}
+	legacy, err := ParseSpecWith("ring", 5, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Ring(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := legacy.(*Graph)
+	for id := 0; id < want.M(); id++ {
+		if lg.Edge(id) != want.Edge(id) {
+			t.Fatalf("legacy ring edge %d differs from graph.Ring", id)
+		}
+	}
+
+	for _, bad := range []string{"nope:4", "ring", "ring:x", "grid:axb", "ws:10,4", "ba:10", ""} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

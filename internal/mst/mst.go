@@ -55,7 +55,7 @@ type (
 )
 
 // Multimedia computes the MST of g with the §6 algorithm.
-func Multimedia(g *graph.Graph, seed int64) (*Result, error) {
+func Multimedia(g graph.Topology, seed int64) (*Result, error) {
 	f, pm, _, err := partition.Deterministic(g, seed)
 	if err != nil {
 		return nil, fmt.Errorf("mst: partition: %w", err)
@@ -67,11 +67,11 @@ func Multimedia(g *graph.Graph, seed int64) (*Result, error) {
 // by the ablation experiments to swap in the randomized partition; note the
 // §3 subtree-of-MST property is then only guaranteed if the forest's trees
 // are MST subtrees).
-func MultimediaFromForest(g *graph.Graph, seed int64, f *forest.Forest, pm *sim.Metrics) (*Result, error) {
+func MultimediaFromForest(g graph.Topology, seed int64, f *forest.Forest, pm *sim.Metrics) (*Result, error) {
 	return finish(g, seed, f, pm)
 }
 
-func finish(g *graph.Graph, seed int64, f *forest.Forest, pm *sim.Metrics) (*Result, error) {
+func finish(g graph.Topology, seed int64, f *forest.Forest, pm *sim.Metrics) (*Result, error) {
 	phases := 0
 	var res *sim.Result
 	var err error
@@ -102,7 +102,7 @@ func finish(g *graph.Graph, seed int64, f *forest.Forest, pm *sim.Metrics) (*Res
 }
 
 // assemble merges the per-node incident MST edge lists into one edge set.
-func assemble(g *graph.Graph, results []any) (*graph.MST, error) {
+func assemble(g graph.Topology, results []any) (*graph.MST, error) {
 	seen := make(map[int]bool)
 	for v, r := range results {
 		ids, ok := r.([]int)
@@ -249,7 +249,7 @@ func mergeProgram(f *forest.Forest, phasesOut *int) sim.Program {
 			for _, cf := range cfs {
 				p := mins[cf]
 				uf.Union(cf, p.target)
-				e := c.Graph().Edge(p.edge)
+				e := c.Topo().Edge(p.edge)
 				if e.U == id || e.V == id {
 					mstEdges[p.edge] = true
 				}
@@ -274,7 +274,7 @@ func mergeProgram(f *forest.Forest, phasesOut *int) sim.Program {
 
 // Boruvka wraps the pure point-to-point baseline (the §3 machinery run to
 // completion) into the same Result shape for the experiments.
-func Boruvka(g *graph.Graph, seed int64) (*Result, error) {
+func Boruvka(g graph.Topology, seed int64) (*Result, error) {
 	f, met, info, err := partition.Boruvka(g, seed)
 	if err != nil {
 		return nil, fmt.Errorf("mst: boruvka baseline: %w", err)

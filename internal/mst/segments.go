@@ -17,7 +17,7 @@ import (
 // RingSegmentForest chops a ring into k contiguous chains avoiding the
 // heaviest edge. The MST of a ring is the ring minus its heaviest edge, so
 // every chain is a subtree of the (unique) MST.
-func RingSegmentForest(g *graph.Graph, k int) (*forest.Forest, error) {
+func RingSegmentForest(g graph.Topology, k int) (*forest.Forest, error) {
 	n := g.N()
 	if k > n {
 		k = n

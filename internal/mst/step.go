@@ -258,7 +258,7 @@ func (m *mergeMachine) stepSlots(in sim.Input) bool {
 			}
 		}
 		m.uf.Union(int(best.CurFrag), int(best.TargetCF))
-		e := m.c.Graph().Edge(best.Edge)
+		e := m.c.Topo().Edge(best.Edge)
 		if e.U == id || e.V == id {
 			m.addMSTEdge(best.Edge)
 		}

@@ -61,7 +61,7 @@ func (nd *dnode) mwoeStep(in sim.Input) sim.Input {
 				}
 				awaiting = -1
 				if p.Accept {
-					e := c.Graph().Edge(m.EdgeID)
+					e := c.Topo().Edge(m.EdgeID)
 					nd.cand = dMin{Valid: true, W: e.Weight, Edge: m.EdgeID, Target: p.Frag}
 					testDone = true
 				} else {
@@ -481,7 +481,7 @@ func deterministicProgram(phases int, infoSink func(DeterministicInfo)) sim.Prog
 		info.Finished = true
 		parent := graph.NodeID(-1)
 		if nd.parentEdge != -1 {
-			parent = c.Graph().Edge(nd.parentEdge).Other(c.ID())
+			parent = c.Topo().Edge(nd.parentEdge).Other(c.ID())
 		}
 		c.SetResult(NodeOutcome{Parent: parent, ParentEdge: nd.parentEdge, Root: nd.frag})
 		if infoSink != nil && c.ID() == 0 {
@@ -504,7 +504,7 @@ func DeterministicPhaseCount(n int) int {
 // DeterministicPhases runs the §3 algorithm for the given number of phases
 // and returns the resulting spanning forest (every tree a subtree of the
 // MST), run metrics, and info.
-func DeterministicPhases(g *graph.Graph, seed int64, phases int) (*forest.Forest, *sim.Metrics, *DeterministicInfo, error) {
+func DeterministicPhases(g graph.Topology, seed int64, phases int) (*forest.Forest, *sim.Metrics, *DeterministicInfo, error) {
 	var info DeterministicInfo
 	f, met, _, err := runAndBuild(g, deterministicProgram(phases, func(i DeterministicInfo) { info = i }),
 		sim.WithSeed(seed))
@@ -516,7 +516,7 @@ func DeterministicPhases(g *graph.Graph, seed int64, phases int) (*forest.Forest
 
 // Deterministic runs the §3 partition with the paper's standard balance
 // point: ⌈log2(n)/2⌉ phases, giving O(√n) trees of radius O(√n).
-func Deterministic(g *graph.Graph, seed int64) (*forest.Forest, *sim.Metrics, *DeterministicInfo, error) {
+func Deterministic(g graph.Topology, seed int64) (*forest.Forest, *sim.Metrics, *DeterministicInfo, error) {
 	return DeterministicPhases(g, seed, DeterministicPhaseCount(g.N()))
 }
 
@@ -524,7 +524,7 @@ func Deterministic(g *graph.Graph, seed int64) (*forest.Forest, *sim.Metrics, *D
 // plus early exit), producing the full MST as a single tree. This is the
 // pure point-to-point baseline for the §6 experiment: it uses the channel
 // only for the §7.1 barrier, never for data.
-func Boruvka(g *graph.Graph, seed int64) (*forest.Forest, *sim.Metrics, *DeterministicInfo, error) {
+func Boruvka(g graph.Topology, seed int64) (*forest.Forest, *sim.Metrics, *DeterministicInfo, error) {
 	phases := bits.Len(uint(g.N()-1)) + 1
 	return DeterministicPhases(g, seed, phases)
 }

@@ -38,7 +38,7 @@ func (nd *dnode) mwoeStepParallel(in sim.Input) sim.Input {
 			case dReply:
 				pending--
 				if p.Accept {
-					e := c.Graph().Edge(m.EdgeID)
+					e := c.Topo().Edge(m.EdgeID)
 					if !nd.cand.Valid || e.Weight < nd.cand.W {
 						nd.cand = dMin{Valid: true, W: e.Weight, Edge: m.EdgeID, Target: p.Frag}
 					}
@@ -72,7 +72,7 @@ func (nd *dnode) mwoeStepParallel(in sim.Input) sim.Input {
 
 // DeterministicParallelMWOE runs the §3 partition with the A4 parallel
 // edge-testing variant (same output guarantees, different cost profile).
-func DeterministicParallelMWOE(g *graph.Graph, seed int64) (*forest.Forest, *sim.Metrics, *DeterministicInfo, error) {
+func DeterministicParallelMWOE(g graph.Topology, seed int64) (*forest.Forest, *sim.Metrics, *DeterministicInfo, error) {
 	phases := DeterministicPhaseCount(g.N())
 	var info DeterministicInfo
 	prog := func(c *sim.Ctx) error {
@@ -92,7 +92,7 @@ func DeterministicParallelMWOE(g *graph.Graph, seed int64) (*forest.Forest, *sim
 		localInfo.Finished = true
 		parent := graph.NodeID(-1)
 		if nd.parentEdge != -1 {
-			parent = c.Graph().Edge(nd.parentEdge).Other(c.ID())
+			parent = c.Topo().Edge(nd.parentEdge).Other(c.ID())
 		}
 		c.SetResult(NodeOutcome{Parent: parent, ParentEdge: nd.parentEdge, Root: nd.frag})
 		if c.ID() == 0 {

@@ -37,7 +37,7 @@ func SqrtN(n int) int {
 }
 
 // buildForest assembles and validates a forest from per-node outcomes.
-func buildForest(g *graph.Graph, results []any) (*forest.Forest, error) {
+func buildForest(g graph.Topology, results []any) (*forest.Forest, error) {
 	n := g.N()
 	parent := make([]graph.NodeID, n)
 	parentEdge := make([]int, n)
@@ -54,7 +54,7 @@ func buildForest(g *graph.Graph, results []any) (*forest.Forest, error) {
 
 // Run is the common driver: execute program on g and build the forest from
 // the per-node outcomes.
-func runAndBuild(g *graph.Graph, program sim.Program, opts ...sim.Option) (*forest.Forest, *sim.Metrics, []any, error) {
+func runAndBuild(g graph.Topology, program sim.Program, opts ...sim.Option) (*forest.Forest, *sim.Metrics, []any, error) {
 	res, err := sim.Run(g, program, opts...)
 	if err != nil {
 		return nil, nil, nil, err

@@ -244,7 +244,7 @@ func (nd *rnode) iteration(p float64) {
 		nd.finished = true
 		nd.outcome = NodeOutcome{Parent: -1, ParentEdge: -1, Root: nd.root}
 		if nd.label > 0 {
-			e := c.Graph().Edge(nd.parentEdge)
+			e := c.Topo().Edge(nd.parentEdge)
 			nd.outcome.Parent = e.Other(c.ID())
 			nd.outcome.ParentEdge = nd.parentEdge
 		}
@@ -364,7 +364,7 @@ func randomizedProgram(lasVegas bool, maxRestarts int, infoSink func(RandomizedI
 
 // Randomized runs the Monte Carlo randomized partition (§4) and returns the
 // spanning forest, the run's metrics, and auxiliary info.
-func Randomized(g *graph.Graph, seed int64) (*forest.Forest, *sim.Metrics, *RandomizedInfo, error) {
+func Randomized(g graph.Topology, seed int64) (*forest.Forest, *sim.Metrics, *RandomizedInfo, error) {
 	var info RandomizedInfo
 	f, met, _, err := runAndBuild(g, randomizedProgram(false, 1, func(i RandomizedInfo) { info = i }),
 		sim.WithSeed(seed))
@@ -378,7 +378,7 @@ func Randomized(g *graph.Graph, seed int64) (*forest.Forest, *sim.Metrics, *Rand
 // by scheduling the cores on the channel and restarted until at most 2√n
 // trees were produced, so the returned forest always satisfies the balance
 // bound. The verified core schedule is returned in the info.
-func RandomizedLasVegas(g *graph.Graph, seed int64) (*forest.Forest, *sim.Metrics, *RandomizedInfo, error) {
+func RandomizedLasVegas(g graph.Topology, seed int64) (*forest.Forest, *sim.Metrics, *RandomizedInfo, error) {
 	var info RandomizedInfo
 	f, met, _, err := runAndBuild(g, randomizedProgram(true, 50, func(i RandomizedInfo) { info = i }),
 		sim.WithSeed(seed))

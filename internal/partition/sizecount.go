@@ -30,7 +30,7 @@ const maxSizePhases = 40 // safety cap; the probe succeeds near log(n)/2
 
 // CountNodes runs the §7.3 deterministic size computation and returns the
 // value of n every node computed, with run metrics.
-func CountNodes(g *graph.Graph, seed int64, idUniverse int) (*SizeCountResult, *sim.Metrics, error) {
+func CountNodes(g graph.Topology, seed int64, idUniverse int) (*SizeCountResult, *sim.Metrics, error) {
 	if idUniverse < g.N() {
 		return nil, nil, fmt.Errorf("partition: id universe %d below node count %d", idUniverse, g.N())
 	}

@@ -39,7 +39,7 @@ func (m *electMachine) Result() any { return m.leader }
 // every node. The run executes on sim.DefaultEngine: the goroutine engine
 // drives the blocking Election, the step engine the native ElectionStep
 // machine; both produce bit-identical transcripts.
-func Elect(g *graph.Graph, seed int64) (leader int, met sim.Metrics, err error) {
+func Elect(g graph.Topology, seed int64) (leader int, met sim.Metrics, err error) {
 	var res *sim.Result
 	if sim.DefaultEngine == sim.EngineStep {
 		res, err = sim.RunStep(g, func(c *sim.StepCtx) sim.Machine {

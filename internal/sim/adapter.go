@@ -16,7 +16,7 @@ import (
 )
 
 // runStepAdapter executes a goroutine Program on the step engine.
-func runStepAdapter(g *graph.Graph, program Program, cfg config) (*Result, error) {
+func runStepAdapter(g graph.Topology, program Program, cfg config) (*Result, error) {
 	prog := func(sc *StepCtx) Machine {
 		return &goroutineMachine{sc: sc, ctx: newCtx(g, sc.id, cfg.seed), program: program}
 	}

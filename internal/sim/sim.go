@@ -235,7 +235,7 @@ func WithMaxRounds(r int) Option { return func(c *config) { c.maxRounds = r } }
 var DefaultMaxRounds int
 
 // resolveMaxRounds fills the config's round budget after options applied.
-func (c *config) resolveMaxRounds(g *graph.Graph) {
+func (c *config) resolveMaxRounds(g graph.Topology) {
 	if c.maxRounds > 0 {
 		return
 	}
@@ -284,8 +284,9 @@ type outMsg struct {
 // are programming errors, not runtime conditions.
 type Ctx struct {
 	id      graph.NodeID
-	g       *graph.Graph
-	rng     *rand.Rand // created lazily from rngSeed on first use
+	topo    graph.Topology
+	adj     []graph.Half // this node's links, cached at construction
+	rng     *rand.Rand   // created lazily from rngSeed on first use
 	rngSeed int64
 
 	round     int
@@ -306,18 +307,18 @@ type Ctx struct {
 func (c *Ctx) ID() graph.NodeID { return c.id }
 
 // N returns the number of nodes in the network (known to all nodes, §2).
-func (c *Ctx) N() int { return c.g.N() }
+func (c *Ctx) N() int { return c.topo.N() }
 
-// Graph returns the immutable network topology. Programs that model the
+// Topo returns the immutable network topology. Programs that model the
 // weaker anonymous setting must restrict themselves to Adj/Degree.
-func (c *Ctx) Graph() *graph.Graph { return c.g }
+func (c *Ctx) Topo() graph.Topology { return c.topo }
 
 // Adj returns this node's incident links sorted by ascending weight — the
 // paper's "ordered list of links".
-func (c *Ctx) Adj() []graph.Half { return c.g.Adj(c.id) }
+func (c *Ctx) Adj() []graph.Half { return c.adj }
 
 // Degree returns the number of incident links.
-func (c *Ctx) Degree() int { return c.g.Degree(c.id) }
+func (c *Ctx) Degree() int { return len(c.adj) }
 
 // Round returns the current round number (0 before the first Tick).
 func (c *Ctx) Round() int { return c.round }
@@ -406,31 +407,36 @@ type Result struct {
 }
 
 // newCtx builds the blocking per-node handle shared by the goroutine engine
-// and the step engine's compatibility adapter.
-func newCtx(g *graph.Graph, id graph.NodeID, seed int64) *Ctx {
+// and the step engine's compatibility adapter. The node's adjacency is
+// cached up front (the stored form hands out its slice for free; implicit
+// forms compute it once per node), so Adj/Degree stay O(1) per call.
+func newCtx(t graph.Topology, id graph.NodeID, seed int64) *Ctx {
+	adj := t.Adj(id)
 	ctx := &Ctx{
 		id:         id,
-		g:          g,
+		topo:       t,
+		adj:        adj,
 		rngSeed:    seed*1_000_003 + int64(id),
 		sentLink:   make(map[int]bool),
-		linkByEdge: make(map[int]int, g.Degree(id)),
-		linkByPeer: make(map[graph.NodeID]int, g.Degree(id)),
+		linkByEdge: make(map[int]int, len(adj)),
+		linkByPeer: make(map[graph.NodeID]int, len(adj)),
 		resume:     make(chan Input, 1),
 		done:       make(chan bool, 1),
 	}
-	for l, h := range g.Adj(id) {
+	for l, h := range adj {
 		ctx.linkByEdge[h.EdgeID] = l
 		ctx.linkByPeer[h.To] = l
 	}
 	return ctx
 }
 
-// Run executes program on every node of g until all programs return, and
-// returns aggregate metrics and per-node results. The first program error
-// (or panic, or an exhausted round budget) aborts the run. The engine is
-// chosen with WithEngine (DefaultEngine otherwise); both engines produce
-// identical results and metrics for the same seed.
-func Run(g *graph.Graph, program Program, opts ...Option) (*Result, error) {
+// Run executes program on every node of g — any graph.Topology form —
+// until all programs return, and returns aggregate metrics and per-node
+// results. The first program error (or panic, or an exhausted round budget)
+// aborts the run. The engine is chosen with WithEngine (DefaultEngine
+// otherwise); both engines, any worker count, and both topology forms of
+// the same spec produce identical results and metrics for the same seed.
+func Run(g graph.Topology, program Program, opts ...Option) (*Result, error) {
 	cfg := config{seed: 1}
 	for _, o := range opts {
 		o(&cfg)
@@ -459,7 +465,7 @@ type pendingMsg struct {
 
 // runGoroutine is the historical engine: one goroutine per node, resumed
 // round by round from a single scheduler loop.
-func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) {
+func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error) {
 	inj, err := fault.Compile(cfg.plan(), g)
 	if err != nil {
 		return nil, err
@@ -674,6 +680,6 @@ func runGoroutine(g *graph.Graph, program Program, cfg config) (*Result, error) 
 
 // defaultMaxRounds budgets generously above any algorithm in this module:
 // all are O(n · polylog n) rounds at worst.
-func defaultMaxRounds(g *graph.Graph) int {
+func defaultMaxRounds(g graph.Topology) int {
 	return 200*g.N() + 20_000
 }

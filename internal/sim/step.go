@@ -174,16 +174,29 @@ type StepCtx struct {
 func (c *StepCtx) ID() graph.NodeID { return c.id }
 
 // N returns the number of nodes in the network (known to all nodes, §2).
-func (c *StepCtx) N() int { return c.eng.g.N() }
+func (c *StepCtx) N() int { return c.eng.topo.N() }
 
-// Graph returns the immutable network topology.
-func (c *StepCtx) Graph() *graph.Graph { return c.eng.g }
+// Topo returns the immutable network topology.
+func (c *StepCtx) Topo() graph.Topology { return c.eng.topo }
 
-// Adj returns this node's incident links sorted by ascending weight.
-func (c *StepCtx) Adj() []graph.Half { return c.eng.g.Adj(c.id) }
+// Adj returns this node's incident links sorted by ascending weight. On an
+// implicit topology every call computes (and allocates) the list; machines
+// on hot paths should capture it once or use Degree/Send/LinkOf, which
+// never materialize adjacency.
+func (c *StepCtx) Adj() []graph.Half {
+	if g := c.eng.mat; g != nil {
+		return g.Adj(c.id)
+	}
+	return c.eng.topo.Adj(c.id)
+}
 
 // Degree returns the number of incident links.
-func (c *StepCtx) Degree() int { return c.eng.g.Degree(c.id) }
+func (c *StepCtx) Degree() int {
+	if g := c.eng.mat; g != nil {
+		return g.Degree(c.id)
+	}
+	return c.eng.topo.Degree(c.id)
+}
 
 // Round returns the current round number.
 func (c *StepCtx) Round() int { return c.round }
@@ -197,17 +210,26 @@ func (c *StepCtx) Rand() *rand.Rand {
 	return c.rng
 }
 
-// LinkOf returns the local link index of the given edge id.
+// LinkOf returns the local link index of the given edge id. The stored
+// form answers from the engine's O(m) edge index; implicit forms compute
+// the rank of the edge's weight among the node's links in O(degree).
 func (c *StepCtx) LinkOf(edgeID int) int {
-	e := c.eng.g.Edge(edgeID)
-	switch c.id {
-	case e.U:
-		return int(c.eng.linkAt[edgeID][0])
-	case e.V:
-		return int(c.eng.linkAt[edgeID][1])
-	default:
+	if la := c.eng.linkAt; la != nil {
+		e := c.eng.mat.Edge(edgeID)
+		switch c.id {
+		case e.U:
+			return int(la[edgeID][0])
+		case e.V:
+			return int(la[edgeID][1])
+		default:
+			panic(fmt.Sprintf("sim: node %d has no link with edge id %d", c.id, edgeID))
+		}
+	}
+	l, ok := c.eng.topo.LinkIndex(c.id, edgeID)
+	if !ok {
 		panic(fmt.Sprintf("sim: node %d has no link with edge id %d", c.id, edgeID))
 	}
+	return l
 }
 
 // linkIndexThreshold: below this degree a linear Adj scan beats building
@@ -219,9 +241,18 @@ const linkIndexThreshold = 16
 // index (a star hub answering n-1 SendTo calls used to pay a linear Adj
 // scan each, making the round quadratic).
 func (c *StepCtx) Link(to graph.NodeID) (int, bool) {
-	adj := c.Adj()
-	if len(adj) < linkIndexThreshold {
-		for l, h := range adj {
+	d := c.Degree()
+	if d < linkIndexThreshold {
+		if g := c.eng.mat; g != nil {
+			for l, h := range g.Adj(c.id) {
+				if h.To == to {
+					return l, true
+				}
+			}
+			return 0, false
+		}
+		var arr [linkIndexThreshold]graph.Half
+		for l, h := range c.eng.topo.AdjAppend(c.id, arr[:0]) {
 			if h.To == to {
 				return l, true
 			}
@@ -229,6 +260,7 @@ func (c *StepCtx) Link(to graph.NodeID) (int, bool) {
 		return 0, false
 	}
 	if c.peerIdx == nil {
+		adj := c.Adj()
 		c.peerIdx = make([]peerLink, len(adj))
 		for l, h := range adj {
 			c.peerIdx[l] = peerLink{peer: h.To, link: int32(l)}
@@ -246,11 +278,19 @@ func (c *StepCtx) Link(to graph.NodeID) (int, bool) {
 // at the start of the next round. At most one message may be sent per link
 // per round.
 func (c *StepCtx) Send(link int, p Payload) {
-	adj := c.Adj()
-	if link < 0 || link >= len(adj) {
-		panic(fmt.Sprintf("sim: node %d send on link %d of %d", c.id, link, len(adj)))
+	var h graph.Half
+	if g := c.eng.mat; g != nil {
+		adj := g.Adj(c.id)
+		if link < 0 || link >= len(adj) {
+			panic(fmt.Sprintf("sim: node %d send on link %d of %d", c.id, link, len(adj)))
+		}
+		h = adj[link]
+	} else {
+		if d := c.eng.topo.Degree(c.id); link < 0 || link >= d {
+			panic(fmt.Sprintf("sim: node %d send on link %d of %d", c.id, link, d))
+		}
+		h = c.eng.topo.HalfAt(c.id, link)
 	}
-	h := adj[link]
 	idx := c.eng.sentOff[c.id] + link
 	if c.eng.sentFlags[idx] {
 		panic(fmt.Sprintf("sim: node %d sent twice on edge %d in round %d", c.id, h.EdgeID, c.round))
@@ -369,7 +409,8 @@ const (
 )
 
 type stepEngine struct {
-	g     *graph.Graph
+	topo  graph.Topology
+	mat   *graph.Graph // topo's stored form, or nil — gates the O(m) fast-path indexes
 	cfg   config
 	inj   *fault.Injector // nil for fault-free runs
 	reuse bool            // reuse inbox buffers (native runs; the adapter reallocates)
@@ -377,7 +418,7 @@ type stepEngine struct {
 	nodes []StepCtx
 	inbox [][]Message
 
-	linkAt    [][2]int32 // edge id -> local link index at (U, V)
+	linkAt    [][2]int32 // edge id -> local link index at (U, V); stored form only
 	sentOff   []int      // per-node offset into sentFlags
 	sentFlags []bool     // one duplicate-send guard per directed half-edge
 
@@ -403,10 +444,13 @@ type stepEngine struct {
 // tests flip it to check the fast-forward arithmetic differentially.
 var disableFastForward bool
 
-// RunStep executes one Machine per node of g until all machines halt, and
-// returns aggregate metrics and per-node results — the native entry point
-// of the step engine. Options are shared with Run; WithEngine is ignored.
-func RunStep(g *graph.Graph, program StepProgram, opts ...Option) (*Result, error) {
+// RunStep executes one Machine per node of g — any graph.Topology form —
+// until all machines halt, and returns aggregate metrics and per-node
+// results — the native entry point of the step engine. Options are shared
+// with Run; WithEngine is ignored. On an implicit topology the engine keeps
+// only per-node state: the topology itself contributes O(1) memory, which
+// is what makes 10⁷–10⁸-node runs fit.
+func RunStep(g graph.Topology, program StepProgram, opts ...Option) (*Result, error) {
 	cfg := config{seed: 1}
 	for _, o := range opts {
 		o(&cfg)
@@ -415,7 +459,7 @@ func RunStep(g *graph.Graph, program StepProgram, opts ...Option) (*Result, erro
 	return runStepEngine(g, program, cfg, true)
 }
 
-func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes bool) (res *Result, err error) {
+func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInboxes bool) (res *Result, err error) {
 	inj, err := fault.Compile(cfg.plan(), g)
 	if err != nil {
 		return nil, err
@@ -435,29 +479,38 @@ func runStepEngine(g *graph.Graph, program StepProgram, cfg config, reuseInboxes
 		workers = 1
 	}
 
+	mat, _ := g.(*graph.Graph)
 	e := &stepEngine{
-		g:         g,
-		cfg:       cfg,
-		inj:       inj,
-		reuse:     reuseInboxes,
-		nodes:     make([]StepCtx, n),
-		inbox:     make([][]Message, n),
-		linkAt:    make([][2]int32, g.M()),
-		sentOff:   make([]int, n),
-		sentFlags: make([]bool, 2*g.M()),
-		workers:   workers,
-		alive:     n,
+		topo:    g,
+		mat:     mat,
+		cfg:     cfg,
+		inj:     inj,
+		reuse:   reuseInboxes,
+		nodes:   make([]StepCtx, n),
+		inbox:   make([][]Message, n),
+		sentOff: make([]int, n),
+		workers: workers,
+		alive:   n,
 	}
 	off := 0
 	for v := 0; v < n; v++ {
-		id := graph.NodeID(v)
 		e.sentOff[v] = off
-		off += g.Degree(id)
-		for l, h := range g.Adj(id) {
-			if g.Edge(h.EdgeID).U == id {
-				e.linkAt[h.EdgeID][0] = int32(l)
-			} else {
-				e.linkAt[h.EdgeID][1] = int32(l)
+		off += g.Degree(graph.NodeID(v))
+	}
+	e.sentFlags = make([]bool, off)
+	if mat != nil {
+		// Stored form: build the O(m) edge→link index LinkOf answers from.
+		// Implicit forms skip it (LinkIndex computes per query), keeping the
+		// engine's footprint independent of m beyond the send guards.
+		e.linkAt = make([][2]int32, mat.M())
+		for v := 0; v < n; v++ {
+			id := graph.NodeID(v)
+			for l, h := range mat.Adj(id) {
+				if mat.Edge(h.EdgeID).U == id {
+					e.linkAt[h.EdgeID][0] = int32(l)
+				} else {
+					e.linkAt[h.EdgeID][1] = int32(l)
+				}
 			}
 		}
 	}

@@ -26,7 +26,7 @@ type ExactResult struct {
 // Exact computes n deterministically. idUniverse is the publicly known
 // bound on the id space (the paper's |id|); pass 0 to use the smallest
 // power of two covering the actual ids.
-func Exact(g *graph.Graph, seed int64, idUniverse int) (*ExactResult, error) {
+func Exact(g graph.Topology, seed int64, idUniverse int) (*ExactResult, error) {
 	if idUniverse <= 0 {
 		idUniverse = 1 << uint(bits.Len(uint(g.N()-1)))
 	}
@@ -47,7 +47,7 @@ type EstimateResult struct {
 // Estimate runs the Greenberg–Ladner protocol: in round i every node
 // transmits with probability 2^-i; the first idle slot after k rounds
 // yields the estimate 2^k, within a constant factor of n w.h.p.
-func Estimate(g *graph.Graph, seed int64) (*EstimateResult, error) {
+func Estimate(g graph.Topology, seed int64) (*EstimateResult, error) {
 	res, err := sim.Run(g, func(c *sim.Ctx) error {
 		est, _ := resolve.GreenbergLadner(c, sim.Input{}, true)
 		c.SetResult(est)

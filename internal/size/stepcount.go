@@ -26,7 +26,7 @@ type CensusResult struct {
 // Every node learns n; the channel is never used. Thanks to the engine's
 // sleep/wake activation the cost is proportional to n + m node-steps, so a
 // million-node ring completes in seconds.
-func Census(g *graph.Graph, seed int64, opts ...sim.Option) (*CensusResult, error) {
+func Census(g graph.Topology, seed int64, opts ...sim.Option) (*CensusResult, error) {
 	res, err := globalfunc.PointToPointStep(g, seed, globalfunc.Sum,
 		func(graph.NodeID) int64 { return 1 }, opts...)
 	if err != nil {
@@ -65,7 +65,7 @@ func (m *glMachine) Result() any { return m.est }
 
 // EstimateStep runs the §7.4 Greenberg–Ladner protocol on the native step
 // engine; same contract and transcript as Estimate.
-func EstimateStep(g *graph.Graph, seed int64) (*EstimateResult, error) {
+func EstimateStep(g graph.Topology, seed int64) (*EstimateResult, error) {
 	res, err := sim.RunStep(g, func(c *sim.StepCtx) sim.Machine {
 		return &glMachine{c: c}
 	}, sim.WithSeed(seed))

@@ -77,7 +77,7 @@ func (m *snapMachine) Result() any { return m.cut }
 // sim.DefaultEngine: the goroutine engine drives the blocking Take, the
 // step engine the native TakeStep machine; both produce bit-identical
 // transcripts.
-func Run(g *graph.Graph, seed int64) (Cut, sim.Metrics, error) {
+func Run(g graph.Topology, seed int64) (Cut, sim.Metrics, error) {
 	var res *sim.Result
 	var err error
 	if sim.DefaultEngine == sim.EngineStep {
