@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-check bench-quick chaos fuzz golden scale-smoke ci
+.PHONY: build vet lint test test-short test-race bench bench-check bench-quick chaos fuzz golden scale-smoke ci
 
 ## build: compile every package (the tier-1 gate's first half)
 build:
@@ -10,6 +10,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+## lint: the repo's own determinism/zero-alloc analyzer suite (cmd/mmlint),
+## plus staticcheck and govulncheck when installed (CI installs pinned
+## versions; locally they are optional — mmlint itself needs nothing beyond
+## the Go toolchain)
+lint:
+	$(GO) run ./cmd/mmlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipped (CI runs a pinned build)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipped (CI runs a pinned build)"; \
+	fi
+
 ## test: full test suite, including the million-node census gate
 test:
 	$(GO) test ./...
@@ -18,9 +35,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-## test-race: the short suite under the race detector (CI's second job)
+## test-race: the short suite under the race detector with shuffled test
+## order (CI's race job) — shuffling proves no test depends on a
+## predecessor's side effects
 test-race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -shuffle=on ./...
 
 ## chaos: the E10 smoke configuration — fault-injection degradation tables
 chaos:
@@ -61,5 +80,5 @@ scale-smoke:
 
 ## ci: the gates .github/workflows/ci.yml runs (its race job re-runs the
 ## short suite, differential seeds, and example smokes under -race)
-ci: build vet test chaos
+ci: build vet lint test chaos
 	$(GO) run ./cmd/mmexp -only E11

@@ -72,6 +72,7 @@ func TestBenchReportShape(t *testing.T) {
 			t.Errorf("row %q has degenerate values: %+v", row.Name, row)
 		}
 	}
+	//mmlint:commutative independent per-row presence checks
 	for name, seen := range want {
 		if !seen {
 			t.Errorf("row %q missing from report", name)
@@ -193,7 +194,7 @@ func TestCompareGateMissingRowAndZeroAllocBaseline(t *testing.T) {
 
 	// Zero-alloc baseline: growth beyond the slack fails...
 	buf.Reset()
-	cur = &Report{Rows: []Row{row("relay/a", allocsSlack + 1)}}
+	cur = &Report{Rows: []Row{row("relay/a", allocsSlack+1)}}
 	base = writeBase(row("relay/a", 0))
 	if err := compareReports(&buf, cur, base); err == nil || !strings.Contains(err.Error(), "allocs/op") {
 		t.Errorf("alloc growth over a zero-alloc baseline must fail the gate, got %v\n%s", err, buf.String())

@@ -1,0 +1,62 @@
+// Package knownbad violates every mmlint contract once — the end-to-end
+// fixture cmd/mmlint's tests drive the real multichecker over. It lives
+// under testdata so `go build ./...` and `go vet ./...` never see it, but
+// it type-checks against the real module (including repro/internal/sim) so
+// the full load path is exercised.
+package knownbad
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// leakedCtx trips ctxescape: a package-level context outliving its node.
+var leakedCtx *sim.StepCtx
+
+type counters struct {
+	seq int64
+	buf []int
+}
+
+// mapOrderBug trips maporder: iteration order leaks into the result.
+func mapOrderBug(m map[int]string) string {
+	out := ""
+	for _, v := range m {
+		out += v
+	}
+	return out
+}
+
+// detSourceBug trips detsource twice: wall-clock and global math/rand.
+func detSourceBug() int64 {
+	if rand.Float64() < 0.5 {
+		return time.Now().UnixNano()
+	}
+	return 0
+}
+
+// noAllocBug trips noalloc: fmt and make on a declared-hot path.
+//
+//mmlint:noalloc
+func noAllocBug(c *counters, n int) {
+	fmt.Println(n)
+	c.buf = make([]int, n)
+}
+
+// ctxEscapeBug trips ctxescape: the context is stored into a global.
+func ctxEscapeBug(c *sim.StepCtx) {
+	leakedCtx = c
+}
+
+// atomicMixBug trips atomicmix: seq is atomic here, plain in reset.
+func (c *counters) atomicMixBug() int64 {
+	return atomic.AddInt64(&c.seq, 1)
+}
+
+func (c *counters) reset() {
+	c.seq = 0
+}

@@ -62,6 +62,7 @@ func TestFullPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	values["broadcast"] = bc.Value
+	//mmlint:commutative independent per-primitive equality checks
 	for name, v := range values {
 		if v != want {
 			t.Errorf("%s computed %d, want %d", name, v, want)

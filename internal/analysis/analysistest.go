@@ -1,0 +1,131 @@
+package analysis
+
+// analysistest.go is the fixture test harness, a stdlib miniature of
+// golang.org/x/tools/go/analysis/analysistest: RunWant loads a fixture
+// package from a testdata/src-style tree, runs one analyzer over it, and
+// matches the diagnostics against `// want "regexp"` comments in the
+// fixture source, failing on any unmatched diagnostic or unfulfilled
+// expectation. Several expectations may share a line:
+//
+//	for k := range m { // want "unordered" "second finding"
+//
+// Regexps are matched against the diagnostic message; expectations and
+// findings pair up by (file, line).
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expectation is one `want` pattern at a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// RunWant runs one analyzer over the fixture package at <root>/<path> and
+// checks its diagnostics against the fixture's want comments.
+func RunWant(t *testing.T, root, path string, a *Analyzer) {
+	t.Helper()
+	pkg, err := LoadFixture(root, path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !claimWant(wants, d.Pos, d.Message) {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts every `// want "re" ...` comment of the package.
+func parseWants(pkg *Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitWantPatterns(text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitWantPatterns splits `"a" "b"` / backquoted forms into raw patterns.
+func splitWantPatterns(s string) []string {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		var pat string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return append(pats, s) // unterminated; surface as a bad pattern
+			}
+			if p, err := strconv.Unquote(s[:end+1]); err == nil {
+				pat = p
+			} else {
+				pat = s[1:end]
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(pats, s)
+			}
+			pat = s[1 : 1+end]
+			s = s[end+2:]
+		default:
+			return append(pats, s)
+		}
+		pats = append(pats, pat)
+		s = strings.TrimSpace(s)
+	}
+	return pats
+}
+
+// claimWant marks the first unmatched expectation at the diagnostic's line
+// whose pattern matches.
+func claimWant(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package analysis
+
+// analyzers_test.go drives every analyzer over its fixture package with the
+// want-comment harness, and smoke-checks the real-module loader. Each
+// fixture contains at least one violation that the analyzer must flag (the
+// test fails if a want goes unmatched) and at least one conforming variant
+// that it must not.
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestMapOrder(t *testing.T)  { RunWant(t, fixtureRoot(t), "maporder", MapOrder) }
+func TestDetSource(t *testing.T) { RunWant(t, fixtureRoot(t), "detsource", DetSource) }
+func TestNoAlloc(t *testing.T)   { RunWant(t, fixtureRoot(t), "noalloc", NoAlloc) }
+func TestCtxEscape(t *testing.T) { RunWant(t, fixtureRoot(t), "ctxescape", CtxEscape) }
+func TestAtomicMix(t *testing.T) { RunWant(t, fixtureRoot(t), "atomicmix", AtomicMix) }
+
+// TestDetSourceOutOfScope: the same sources in a package outside the
+// enforcement scope produce no findings.
+func TestDetSourceScope(t *testing.T) {
+	pkg, err := LoadFixture(fixtureRoot(t), "outofscope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{DetSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("detsource flagged an out-of-scope package: %v", diags)
+	}
+}
+
+// TestLoadPatterns: the go list loader type-checks a real module package,
+// test files included.
+func TestLoadPatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list and type-checks a real package")
+	}
+	pkgs, err := LoadPatterns("../..", "./internal/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	var sawTest bool
+	for _, p := range pkgs {
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Fatalf("package %s loaded without types or files", p.Path)
+		}
+		for _, f := range p.Files {
+			if isTestFile(&Pass{Fset: p.Fset}, f) {
+				sawTest = true
+			}
+		}
+	}
+	if !sawTest {
+		t.Error("loader skipped the package's test files")
+	}
+}

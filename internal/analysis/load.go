@@ -1,0 +1,197 @@
+package analysis
+
+// load.go turns source into the type-checked Packages the analyzers
+// consume. Two loaders share the checking machinery:
+//
+//   - LoadPatterns enumerates real module packages with `go list -json` and
+//     type-checks each (test files included) through the stdlib source
+//     importer — the cmd/mmlint path.
+//   - LoadFixture type-checks one GOPATH-style fixture package under a
+//     testdata/src root, resolving fixture-local imports against that root
+//     before falling back to the source importer — the analysistest path.
+//
+// Everything here is stdlib: no module proxy, no vendored x/tools.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// LoadPatterns loads and type-checks the packages matching the go package
+// patterns (e.g. "./..."), rooted at dir. In-package test files are checked
+// with their package; external _test packages are checked separately.
+func LoadPatterns(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, lp := range listed {
+		// The package proper plus its in-package tests, as one unit.
+		files := append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+		if len(files) > 0 {
+			p, err := checkFiles(fset, imp, lp.Dir, lp.ImportPath, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+		// The external test package, if any.
+		if len(lp.XTestGoFiles) > 0 {
+			p, err := checkFiles(fset, imp, lp.Dir, lp.ImportPath+"_test", lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// fixtureImporter resolves imports against a testdata/src root first (so
+// fixtures can import sibling fixture packages by bare path), then falls
+// back to the shared source importer for the standard library.
+type fixtureImporter struct {
+	root  string // the testdata/src directory
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(fi.root, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		p, err := checkFiles(fi.fset, fi, dir, path, goFilesIn(dir))
+		if err != nil {
+			return nil, err
+		}
+		fi.cache[path] = p.Types
+		return p.Types, nil
+	}
+	return fi.std.Import(path)
+}
+
+// LoadFixture loads the fixture package at <root>/<path> (plus nested
+// fixture imports). root is a testdata/src-style directory.
+func LoadFixture(root, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	fi := &fixtureImporter{
+		root:  root,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*types.Package),
+	}
+	dir := filepath.Join(root, path)
+	files := goFilesIn(dir)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files under %s", dir)
+	}
+	return checkFiles(fset, fi, dir, path, files)
+}
+
+func goFilesIn(dir string) []string {
+	ents, _ := os.ReadDir(dir)
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	return files
+}
+
+// checkFiles parses and type-checks one package's files.
+func checkFiles(fset *token.FileSet, imp types.Importer, dir, importPath string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    sizes,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, errs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Sizes: sizes,
+	}, nil
+}

@@ -1,0 +1,135 @@
+package analysis
+
+// maporder flags `for range` statements over map values: Go randomizes map
+// iteration order, so any such loop whose body's effect is order-sensitive
+// is a transcript-nondeterminism bug of exactly the class the difftest
+// suite exists to catch — but only catches when a seed happens to expose
+// it. The analyzer is deliberately strict: a loop is accepted only when its
+// body is a recognized commutative idiom, or when it carries an explicit
+// //mmlint:commutative <reason> annotation (a reason is mandatory — a bare
+// annotation is itself a finding).
+//
+// Recognized commutative idioms (no annotation needed):
+//
+//	for k := range m { keys = append(keys, k) }   // harvest-then-sort
+//	for k := range m { delete(m, k) }             // drain
+//	for _, v := range m { n++ } / { n += v }      // integer accumulation
+//
+// The idiom check covers only single-statement bodies on purpose: a loop
+// doing more than one thing per iteration is past the point where
+// commutativity is obvious, and must say why it is safe.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder is the unordered-map-iteration analyzer.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range-over-map loops whose iteration-order sensitivity is not discharged by a commutative idiom or an //mmlint:commutative annotation",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if d, ok := pass.directiveAt(rng.Pos(), "commutative"); ok {
+				if d.reason == "" {
+					pass.Reportf(rng.Pos(), "//mmlint:commutative needs a reason: say why this map iteration is order-insensitive")
+				}
+				return true
+			}
+			if commutativeBody(pass, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "iteration over map %s is unordered; sort the keys first, or annotate the loop //mmlint:commutative <reason>", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil
+}
+
+// commutativeBody reports whether the loop body is one of the recognized
+// order-insensitive single-statement idioms.
+func commutativeBody(pass *Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	switch s := rng.Body.List[0].(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		// n += v: integer accumulation commutes (float addition does not).
+		if s.Tok == token.ADD_ASSIGN {
+			tv, ok := pass.TypesInfo.Types[s.Lhs[0]]
+			if !ok || tv.Type == nil {
+				return false
+			}
+			b, ok := tv.Type.Underlying().(*types.Basic)
+			return ok && b.Info()&types.IsInteger != 0
+		}
+		// s = append(s, ...): harvesting keys or values into a slice that
+		// the caller is then free (and expected) to sort.
+		if s.Tok != token.ASSIGN {
+			return false
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) < 2 {
+			return false
+		}
+		if types.ExprString(s.Lhs[0]) != types.ExprString(call.Args[0]) {
+			return false
+		}
+		// Only the identity harvest is accepted — appending exactly the
+		// range's key or value variable, which the caller is expected to
+		// sort. Appending derived expressions hides the order dependence.
+		for _, a := range call.Args[1:] {
+			id, ok := a.(*ast.Ident)
+			if !ok || !isRangeVar(rng, id) {
+				return false
+			}
+		}
+		return true
+	case *ast.IncDecStmt:
+		return true // n++ / n-- over any key set commutes
+	case *ast.ExprStmt:
+		// delete(m, k): draining the ranged map.
+		call, ok := s.X.(*ast.CallExpr)
+		return ok && isBuiltin(pass, call.Fun, "delete")
+	}
+	return false
+}
+
+// isRangeVar reports whether id is the loop's key or value variable.
+func isRangeVar(rng *ast.RangeStmt, id *ast.Ident) bool {
+	for _, v := range [2]ast.Expr{rng.Key, rng.Value} {
+		if vid, ok := v.(*ast.Ident); ok && vid.Name == id.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether e names the given predeclared builtin.
+func isBuiltin(pass *Pass, e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,517 @@
+package analysis
+
+// noalloc turns the runtime allocation gate (sim/alloc_test.go's
+// differential AllocsPerRun assertion) into a compile-time one: a function
+// whose doc comment carries //mmlint:noalloc declares itself part of the
+// steady-state zero-allocation diet, and the analyzer rejects every
+// construct in its body that heap-allocates:
+//
+//	make / new / map and slice composite literals
+//	fmt.* calls (every fmt entry point allocates)
+//	go statements (a goroutine is an allocation, and hot paths must not spawn)
+//	function literals that capture enclosing variables (the closure context
+//	  escapes to the heap), except as the immediate operand of defer, which
+//	  the compiler open-codes on the stack
+//	interface boxing: a concrete value reaching an interface slot, unless
+//	  the value is zero-sized, pointer-shaped, untyped nil, or a constant
+//	  (all of which box without heap allocation)
+//	append whose result is not written back with plain `=` — the engine's
+//	  reuse idiom appends into a buffer that survives the round; appending
+//	  into a freshly declared slice is steady-state growth
+//
+// Cold failure paths stay writable: anything nested inside the argument of
+// panic, or of (*StepCtx).Failf / testing fatal helpers, is exempt — those
+// run at most once per run, after which there is no steady state to keep
+// allocation-free. The body of a recover guard (`if r := recover(); r !=
+// nil` or `if recover() != nil`) is cold for the same reason: it only runs
+// after a panic has already ended the steady state.
+//
+// The check is intraprocedural by design: calls into non-annotated
+// functions are trusted (annotate the callee if it is on the hot path), and
+// stack-vs-heap subtleties the compiler's escape analysis decides (method
+// values, non-escaping captures) are left to the runtime gate. The two
+// gates are complementary: this one is exhaustive over the annotated
+// bodies, that one measures ground truth.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc is the zero-allocation-contract analyzer.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "rejects heap-allocating constructs inside functions annotated //mmlint:noalloc",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcDirective(fn, "noalloc") {
+				continue
+			}
+			checkNoAlloc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// noAllocWalker carries the per-function state of the check.
+type noAllocWalker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+	// funcLits currently being walked through, innermost last; identifiers
+	// declared outside the innermost literal but inside the annotated
+	// function are captures.
+	lits []*ast.FuncLit
+}
+
+func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
+	w := &noAllocWalker{pass: pass, fn: fn}
+	w.stmts(fn.Body.List)
+}
+
+func (w *noAllocWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *noAllocWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.expr(s.X, nil)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.GoStmt:
+		w.pass.Reportf(s.Pos(), "go statement in a //mmlint:noalloc function: launching a goroutine allocates")
+	case *ast.DeferStmt:
+		// A func literal directly under defer is open-coded on the stack;
+		// its body still has to obey the contract.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+			w.stmts(lit.Body.List)
+			w.lits = w.lits[:len(w.lits)-1]
+			for _, a := range s.Call.Args {
+				w.expr(a, nil)
+			}
+			return
+		}
+		w.expr(s.Call, nil)
+	case *ast.ReturnStmt:
+		sig, _ := w.pass.TypesInfo.Defs[w.fn.Name].(*types.Func)
+		for i, r := range s.Results {
+			var want types.Type
+			if sig != nil {
+				res := sig.Type().(*types.Signature).Results()
+				if res.Len() == len(s.Results) {
+					want = res.At(i).Type()
+				}
+			}
+			w.expr(r, want)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond, nil)
+		if !w.recoverGuard(s) {
+			w.stmt(s.Body)
+		}
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond, nil)
+		}
+		w.stmt(s.Post)
+		w.stmt(s.Body)
+	case *ast.RangeStmt:
+		w.expr(s.X, nil)
+		w.stmt(s.Body)
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag, nil)
+		}
+		w.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e, nil)
+		}
+		w.stmts(s.Body)
+	case *ast.SelectStmt:
+		w.stmt(s.Body)
+	case *ast.CommClause:
+		w.stmt(s.Comm)
+		w.stmts(s.Body)
+	case *ast.SendStmt:
+		w.expr(s.Chan, nil)
+		ch, ok := w.pass.TypesInfo.Types[s.Chan]
+		var want types.Type
+		if ok {
+			if c, ok := ch.Type.Underlying().(*types.Chan); ok {
+				want = c.Elem()
+			}
+		}
+		w.expr(s.Value, want)
+	case *ast.IncDecStmt:
+		w.expr(s.X, nil)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					var want types.Type
+					if obj := w.pass.TypesInfo.Defs[vs.Names[min(i, len(vs.Names)-1)]]; obj != nil {
+						want = obj.Type()
+					}
+					w.expr(v, want)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// Conservative: walk any statement kind not modeled above.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.expr(e, nil)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// assign checks one assignment, threading the destination types into the
+// boxing check and enforcing the append write-back idiom.
+func (w *noAllocWalker) assign(s *ast.AssignStmt) {
+	for _, l := range s.Lhs {
+		w.expr(l, nil)
+	}
+	for i, r := range s.Rhs {
+		if call, ok := r.(*ast.CallExpr); ok && isBuiltin(w.pass, call.Fun, "append") {
+			if s.Tok != token.ASSIGN {
+				w.pass.Reportf(call.Pos(), "append result bound to a fresh variable in a //mmlint:noalloc function: growing a new slice allocates every round; append into a reused buffer with plain `=` write-back")
+			}
+			w.expr(call, nil)
+			continue
+		}
+		var want types.Type
+		if len(s.Lhs) == len(s.Rhs) && s.Tok == token.ASSIGN {
+			if tv, ok := w.pass.TypesInfo.Types[s.Lhs[i]]; ok {
+				want = tv.Type
+			}
+		}
+		w.expr(r, want)
+	}
+}
+
+// expr checks one expression; want, when non-nil, is the type of the slot
+// the expression's value flows into (for the boxing check).
+func (w *noAllocWalker) expr(e ast.Expr, want types.Type) {
+	if e == nil {
+		return
+	}
+	w.boxes(e, want)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		w.call(e)
+	case *ast.CompositeLit:
+		if tv, ok := w.pass.TypesInfo.Types[e]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				w.pass.Reportf(e.Pos(), "map literal in a //mmlint:noalloc function allocates")
+			case *types.Slice:
+				w.pass.Reportf(e.Pos(), "slice literal in a //mmlint:noalloc function allocates")
+			case *types.Struct, *types.Array:
+				w.structLit(e)
+				return
+			}
+		}
+		for _, el := range e.Elts {
+			w.expr(el, nil)
+		}
+	case *ast.FuncLit:
+		if w.captures(e) {
+			w.pass.Reportf(e.Pos(), "closure captures enclosing variables in a //mmlint:noalloc function: the capture context escapes to the heap (only the immediate operand of defer is stack-allocated)")
+		}
+		w.lits = append(w.lits, e)
+		w.stmts(e.Body.List)
+		w.lits = w.lits[:len(w.lits)-1]
+	case *ast.UnaryExpr:
+		if lit, ok := e.X.(*ast.CompositeLit); ok && e.Op == token.AND {
+			w.pass.Reportf(e.Pos(), "address-taken composite literal in a //mmlint:noalloc function: &T{...} that escapes heap-allocates; reuse a pooled value instead")
+			w.structLit(lit)
+			return
+		}
+		w.expr(e.X, nil)
+	case *ast.BinaryExpr:
+		w.expr(e.X, nil)
+		w.expr(e.Y, nil)
+	case *ast.ParenExpr:
+		w.expr(e.X, want)
+	case *ast.StarExpr:
+		w.expr(e.X, nil)
+	case *ast.IndexExpr:
+		w.expr(e.X, nil)
+		w.expr(e.Index, nil)
+	case *ast.SliceExpr:
+		w.expr(e.X, nil)
+		w.expr(e.Low, nil)
+		w.expr(e.High, nil)
+		w.expr(e.Max, nil)
+	case *ast.SelectorExpr:
+		w.expr(e.X, nil)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, nil)
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, nil)
+	}
+}
+
+// structLit walks a struct or array literal, typing each field slot for the
+// boxing check.
+func (w *noAllocWalker) structLit(lit *ast.CompositeLit) {
+	tv := w.pass.TypesInfo.Types[lit]
+	st, _ := tv.Type.Underlying().(*types.Struct)
+	for i, el := range lit.Elts {
+		var want types.Type
+		val := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+			if st != nil {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					for f := 0; f < st.NumFields(); f++ {
+						if st.Field(f).Name() == id.Name {
+							want = st.Field(f).Type()
+							break
+						}
+					}
+				}
+			}
+		} else if st != nil && i < st.NumFields() {
+			want = st.Field(i).Type()
+		} else if arr, ok := tv.Type.Underlying().(*types.Array); ok {
+			want = arr.Elem()
+		}
+		w.expr(val, want)
+	}
+}
+
+// coldCalls are terminating helpers whose argument trees are exempt: they
+// run at most once per run, so allocation there is not steady-state. Only
+// methods qualify (StepCtx.Failf, testing.T's fatal family) — package
+// functions like fmt.Errorf construct values that flow onward.
+var coldCalls = map[string]bool{"Failf": true, "Fatalf": true, "Fatal": true}
+
+// call checks one call expression.
+func (w *noAllocWalker) call(call *ast.CallExpr) {
+	// panic(...) and fail/fatal helpers: cold by definition; skip the whole
+	// argument tree (the fmt.Sprintf inside a violation panic is fine).
+	if isBuiltin(w.pass, call.Fun, "panic") {
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && coldCalls[sel.Sel.Name] {
+		if obj, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return
+			}
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				w.pass.Reportf(call.Pos(), "make in a //mmlint:noalloc function allocates")
+				return
+			case "new":
+				w.pass.Reportf(call.Pos(), "new in a //mmlint:noalloc function allocates")
+				return
+			case "append":
+				// Reached only for an append whose result is discarded or
+				// nested; the write-back idiom is handled in assign.
+				for _, a := range call.Args {
+					w.expr(a, nil)
+				}
+				return
+			}
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			w.pass.Reportf(call.Pos(), "fmt.%s in a //mmlint:noalloc function allocates (outside a panic argument)", obj.Name())
+			return // the call is already condemned; don't re-flag its arguments
+		}
+	}
+	w.expr(call.Fun, nil)
+	sig := w.callSignature(call)
+	for i, a := range call.Args {
+		var want types.Type
+		if sig != nil {
+			want = paramType(sig, i, call)
+		}
+		w.expr(a, want)
+	}
+}
+
+// callSignature returns the callee's signature, or nil for builtins,
+// conversions, and type expressions.
+func (w *noAllocWalker) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the type of parameter slot i, unrolling variadics.
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		if call.Ellipsis != token.NoPos {
+			return params.At(params.Len() - 1).Type()
+		}
+		if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < params.Len() {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+// boxes reports e when its value boxes into an interface slot with a heap
+// allocation: want is an interface, e's concrete type is not, and the value
+// is not one of the allocation-free cases (nil, constants, zero-sized
+// values, pointer-shaped values).
+func (w *noAllocWalker) boxes(e ast.Expr, want types.Type) {
+	if want == nil {
+		return
+	}
+	if _, ok := want.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return // interface-to-interface carries the existing box
+	}
+	if tv.Value != nil {
+		return // constants box into read-only static data
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if w.pass.Sizes != nil && w.pass.Sizes.Sizeof(t) == 0 {
+		return // zero-size values share the runtime's zero base
+	}
+	if pointerShaped(t) {
+		return // the data word holds the pointer directly
+	}
+	w.pass.Reportf(e.Pos(), "value of type %s boxes into %s in a //mmlint:noalloc function: the conversion heap-allocates (pass a pointer, or keep the slot concrete)", types.TypeString(t, types.RelativeTo(w.pass.Pkg)), types.TypeString(want, types.RelativeTo(w.pass.Pkg)))
+}
+
+// pointerShaped reports whether values of t are a single pointer word,
+// which interface conversion stores without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// recoverGuard reports whether s is `if r := recover(); r != nil` or
+// `if recover() != nil` — a body that only runs after a panic, which has
+// already ended the steady state, so allocation there is cold.
+func (w *noAllocWalker) recoverGuard(s *ast.IfStmt) bool {
+	bin, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	var x ast.Expr
+	switch {
+	case w.isNil(bin.Y):
+		x = bin.X
+	case w.isNil(bin.X):
+		x = bin.Y
+	default:
+		return false
+	}
+	if call, ok := x.(*ast.CallExpr); ok {
+		return isBuiltin(w.pass, call.Fun, "recover")
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok || s.Init == nil {
+		return false
+	}
+	as, ok := s.Init.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name != id.Name {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	return ok && isBuiltin(w.pass, call.Fun, "recover")
+}
+
+// isNil reports whether e is the predeclared nil.
+func (w *noAllocWalker) isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil" && w.pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+}
+
+// captures reports whether lit references any identifier declared in the
+// enclosing function (or an enclosing literal) — the condition under which
+// the compiler materializes a closure context.
+func (w *noAllocWalker) captures(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return true
+		}
+		pos := v.Pos()
+		// Declared inside the annotated function but outside this literal.
+		if pos >= w.fn.Pos() && pos < w.fn.End() && (pos < lit.Pos() || pos > lit.End()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

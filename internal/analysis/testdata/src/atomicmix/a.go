@@ -1,0 +1,30 @@
+// Package atomicmix is the atomicmix analyzer's fixture.
+package atomicmix
+
+import "sync/atomic"
+
+type gate struct {
+	seq    int64 // accessed both atomically and plainly: the bug
+	clean  int64 // only ever atomic
+	normal int64 // only ever plain
+	typed  atomic.Int64
+}
+
+func (g *gate) bump() {
+	atomic.AddInt64(&g.seq, 1)
+	atomic.AddInt64(&g.clean, 1)
+	g.typed.Add(1)
+}
+
+func (g *gate) read() int64 {
+	if g.seq > 0 { // want "plain access to field seq"
+		return g.seq // want "plain access to field seq"
+	}
+	return atomic.LoadInt64(&g.clean) + g.normal + g.typed.Load()
+}
+
+func (g *gate) reset() {
+	g.seq = 0 // want "plain access to field seq"
+	g.normal = 0
+	atomic.StoreInt64(&g.clean, 0)
+}

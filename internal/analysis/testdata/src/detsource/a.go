@@ -1,0 +1,47 @@
+// Package detsource is the detsource analyzer's fixture. Its import path
+// is inside the analyzer's enforcement scope.
+package detsource
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+func clock() int64 {
+	t0 := time.Now()   // want `time\.Now: wall-clock time`
+	_ = time.Since(t0) // want `time\.Since: wall-clock time`
+	return t0.Unix()
+}
+
+func globalRand() int {
+	if rand.Float64() < 0.5 { // want `global math/rand`
+		return rand.Intn(10) // want `global math/rand`
+	}
+	return 0
+}
+
+func seededRandStaysLegal(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // ok: explicit seed
+	return rng.Intn(10)
+}
+
+func machineShape() int {
+	n := runtime.GOMAXPROCS(0)      // want `processor-count branching`
+	n += runtime.NumCPU()           // want `processor-count branching`
+	if os.Getenv("MM_FAST") != "" { // want `environment branching`
+		n++
+	}
+	return n
+}
+
+func annotated() int {
+	//mmlint:nondet sizes a worker pool; transcripts are worker-count-invariant
+	return runtime.GOMAXPROCS(0)
+}
+
+func annotationNeedsReason() int {
+	//mmlint:nondet
+	return runtime.NumCPU() // want "needs a reason"
+}

@@ -1,0 +1,76 @@
+// Package maporder is the maporder analyzer's fixture.
+package maporder
+
+import "sort"
+
+func bad(m map[int]string, out []string) []string {
+	for _, v := range m { // want `iteration over map map\[int\]string is unordered`
+		out = append(out, v+"!") // not a pure harvest: v is transformed
+	}
+	for k, v := range m { // want "unordered"
+		if k > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func missingReason(m map[int]bool) int {
+	n := 0
+	//mmlint:commutative
+	for k := range m { // want "needs a reason"
+		if m[k] {
+			n++
+		}
+	}
+	return n
+}
+
+func harvest(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // ok: single-statement append harvest
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func count(m map[int]string) int {
+	n := 0
+	for range m { // ok: counter increment commutes
+		n++
+	}
+	return n
+}
+
+func sum(m map[int]int) int {
+	n := 0
+	for _, v := range m { // ok: integer accumulation commutes
+		n += v
+	}
+	return n
+}
+
+func drain(m map[int]string) {
+	for k := range m { // ok: delete-drain idiom
+		delete(m, k)
+	}
+}
+
+func annotated(m map[int]func()) {
+	//mmlint:commutative every callback is invoked exactly once and they share no state
+	for _, fn := range m {
+		fn()
+	}
+	for _, fn := range m { //mmlint:commutative trailing form also accepted
+		fn()
+	}
+}
+
+func slicesStayLegal(s []int) int {
+	n := 0
+	for _, v := range s { // ok: slices are ordered
+		n += v
+	}
+	return n
+}

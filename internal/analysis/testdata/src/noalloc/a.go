@@ -1,0 +1,75 @@
+// Package noalloc is the noalloc analyzer's fixture.
+package noalloc
+
+import "fmt"
+
+type payload interface{}
+
+type box struct {
+	buf   []int
+	cb    func()
+	sink  payload
+	count int
+}
+
+//mmlint:noalloc
+func violations(b *box, n int) {
+	m := make(map[int]int) // want "make in a .*noalloc.* function allocates"
+	_ = m
+	p := new(box) // want "new in a .*noalloc.* function allocates"
+	_ = p
+	s := []int{1, 2, 3} // want "slice literal"
+	_ = s
+	mm := map[int]int{1: 2} // want "map literal"
+	_ = mm
+	fmt.Println(n)            // want `fmt\.Println`
+	go b.run()                // want "go statement"
+	fresh := append(b.buf, n) // want "append result bound to a fresh variable"
+	_ = fresh
+	b.cb = func() { b.count++ } // want "closure captures"
+}
+
+//mmlint:noalloc
+func boxing(b *box, v [4]int64) {
+	b.sink = v      // want `value of type \[4\]int64 boxes into payload`
+	b.sink = &box{} // want "address-taken composite literal"
+}
+
+var shared = &box{}
+
+//mmlint:noalloc
+func legal(b *box, n int, p payload) bool {
+	b.buf = append(b.buf, n) // ok: plain = write-back reuse idiom
+	b.count += n
+	b.sink = p          // ok: interface to interface
+	b.sink = shared     // ok: pointer-shaped boxing
+	b.sink = struct{}{} // ok: zero-size boxing
+	b.sink = 7          // ok: constants box into static data
+	b.sink = nil
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // ok: cold path under panic
+	}
+	defer func() { b.count-- }() // ok: open-coded defer closure
+	f := func(x int) int { return x * 2 }
+	return f(n) == 2*n // ok: capture-free literal
+}
+
+//mmlint:noalloc
+func recoverCold(b *box) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.sink = fmt.Errorf("boom: %v", r) // ok: post-panic path is cold
+		} else {
+			fmt.Println(b.count) // want `fmt\.Println`
+		}
+	}()
+	if recover() != nil {
+		fmt.Println(b.count) // ok: bare recover guard is cold too
+	}
+}
+
+func unannotatedStaysFree() map[int]int {
+	return make(map[int]int) // ok: no contract declared
+}
+
+func (b *box) run() {}

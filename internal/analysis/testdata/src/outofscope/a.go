@@ -1,0 +1,12 @@
+// Package outofscope proves detsource's scoping: identical nondeterminism
+// sources outside the transcript-affecting packages are not findings.
+package outofscope
+
+import (
+	"runtime"
+	"time"
+)
+
+func timing() (int, time.Time) {
+	return runtime.NumCPU(), time.Now()
+}

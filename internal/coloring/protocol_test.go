@@ -71,6 +71,7 @@ func protocolForests(t *testing.T) map[string]*forest.Forest {
 // combinatorial specification — a legal coloring whose red vertices form an
 // MIS containing every root.
 func TestDistributedMeetsSpec(t *testing.T) {
+	//mmlint:commutative independent subtests; names label, order never asserted
 	for name, f := range protocolForests(t) {
 		t.Run(name, func(t *testing.T) {
 			colors, met, err := coloring.Distributed(f, 1)
@@ -105,6 +106,7 @@ func TestDistributedMeetsSpec(t *testing.T) {
 func TestDistributedEngineEquivalence(t *testing.T) {
 	old := sim.DefaultEngine
 	defer func() { sim.DefaultEngine = old }()
+	//mmlint:commutative independent subtests; names label, order never asserted
 	for name, f := range protocolForests(t) {
 		t.Run(name, func(t *testing.T) {
 			sim.DefaultEngine = sim.EngineGoroutine

@@ -118,6 +118,7 @@ func Compile(p *Plan, g graph.Topology) (*Injector, error) {
 			inj.jams = append(inj.jams, jrule{index: i, from: from, until: until, prob: r.prob()})
 		}
 	}
+	//mmlint:commutative per-round slices are sorted in place and crashRounds is sorted after
 	for round, nodes := range inj.crashes {
 		slices.Sort(nodes)
 		inj.crashRounds = append(inj.crashRounds, round)

@@ -114,6 +114,7 @@ func TestMsgFateWindows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//mmlint:commutative independent pure-function assertions per round
 	for round, want := range map[int]Fate{4: Deliver, 5: DropMsg, 8: DropMsg, 9: Deliver} {
 		if fate, _ := inj.MsgFate(3, 0, round); fate != want {
 			t.Errorf("edge 3 round %d: fate %v, want %v", round, fate, want)
@@ -167,6 +168,7 @@ func TestJammedWindows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//mmlint:commutative independent pure-function assertions per round
 	for round, want := range map[int]bool{3: false, 4: true, 6: true, 7: false} {
 		if got := inj.Jammed(round); got != want {
 			t.Errorf("Jammed(%d) = %v, want %v", round, got, want)
@@ -198,6 +200,7 @@ func TestCrashFracCompile(t *testing.T) {
 	a, b := mk(3), mk(3)
 	total := 0
 	seen := map[graph.NodeID]bool{}
+	//mmlint:commutative order-free aggregation: total count plus set-membership checks
 	for r, nodes := range a {
 		if r < 2 || r > 5 {
 			t.Errorf("crash scheduled at round %d outside [2, 5]", r)
@@ -216,6 +219,7 @@ func TestCrashFracCompile(t *testing.T) {
 	if len(a) != len(b) {
 		t.Fatalf("same seed, different schedules")
 	}
+	//mmlint:commutative per-key comparison of two schedules; order-free
 	for r := range a {
 		if len(a[r]) != len(b[r]) {
 			t.Fatalf("same seed, different schedule at round %d", r)

@@ -151,6 +151,7 @@ func (f *Forest) Stats() Stats {
 	}
 	st := Stats{Trees: len(size)}
 	first := true
+	//mmlint:commutative min/max reduction over per-root aggregates; order-free
 	for r, s := range size {
 		if first || s < st.MinSize {
 			st.MinSize = s

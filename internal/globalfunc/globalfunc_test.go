@@ -114,6 +114,7 @@ func testTopologies(t *testing.T, n int) map[string]*graph.Graph {
 func TestMultimediaAllVariants(t *testing.T) {
 	const n = 64
 	in := seededInputs(5)
+	//mmlint:commutative independent subtests; names label, order never asserted
 	for name, g := range testTopologies(t, n) {
 		want := Reference(g, Sum, in)
 		for _, tc := range []struct {
@@ -168,6 +169,7 @@ func TestMultimediaAllOps(t *testing.T) {
 }
 
 func TestPointToPointBaseline(t *testing.T) {
+	//mmlint:commutative independent subtests; names label, order never asserted
 	for name, g := range testTopologies(t, 64) {
 		t.Run(name, func(t *testing.T) {
 			in := seededInputs(13)

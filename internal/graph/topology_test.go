@@ -52,6 +52,7 @@ func implicitCases(t *testing.T) map[string]*Implicit {
 // sorted by ascending weight with Degree/HalfAt/LinkIndex/AdjAppend all
 // consistent with Adj.
 func TestImplicitInvariants(t *testing.T) {
+	//mmlint:commutative independent subtests; names label, order never asserted
 	for name, top := range implicitCases(t) {
 		t.Run(name, func(t *testing.T) {
 			n, m := top.N(), top.M()
@@ -130,6 +131,7 @@ func TestImplicitInvariants(t *testing.T) {
 // weights), and sorted adjacency — the structural half of transcript
 // identity.
 func TestMaterializeMatchesImplicit(t *testing.T) {
+	//mmlint:commutative independent subtests; names label, order never asserted
 	for name, top := range implicitCases(t) {
 		t.Run(name, func(t *testing.T) {
 			g, err := Materialize(top)

@@ -116,9 +116,11 @@ func assemble(g graph.Topology, results []any) (*graph.MST, error) {
 	mst := &graph.MST{}
 	for id := range seen {
 		mst.EdgeIDs = append(mst.EdgeIDs, id)
-		mst.Total += g.Edge(id).Weight
 	}
 	sort.Ints(mst.EdgeIDs)
+	for _, id := range mst.EdgeIDs {
+		mst.Total += g.Edge(id).Weight
+	}
 	if len(mst.EdgeIDs) != g.N()-1 {
 		return nil, fmt.Errorf("mst: assembled %d edges, want %d", len(mst.EdgeIDs), g.N()-1)
 	}

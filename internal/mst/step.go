@@ -161,6 +161,8 @@ func (m *mergeMachine) finishCap() {
 
 // enterConv opens a merge phase: pick the locally best outgoing candidate
 // and reset the convergecast counters.
+//
+//mmlint:noalloc
 func (m *mergeMachine) enterConv() {
 	m.myCur = m.uf.Find(m.fragIdx)
 	m.best = mMin{Valid: false, W: graph.Weight(int64(^uint64(0) >> 1))}
@@ -226,6 +228,7 @@ func (m *mergeMachine) broadcastOwn() {
 	m.c.Broadcast(s)
 }
 
+//mmlint:noalloc
 func (m *mergeMachine) stepSlots(in sim.Input) bool {
 	if in.Slot.State == sim.SlotSuccess {
 		if p, ok := in.Slot.Payload.(mSlot); ok && p.Valid {
@@ -280,6 +283,8 @@ func (m *mergeMachine) stepSlots(in sim.Input) bool {
 // (both endpoints of a merge edge may pick it in the same phase, and the
 // same edge can recur across phases) and removed once in finish — a
 // per-add Contains scan would be quadratic at high-degree hubs.
+//
+//mmlint:noalloc
 func (m *mergeMachine) addMSTEdge(e int) {
 	m.mstEdges = append(m.mstEdges, e)
 }

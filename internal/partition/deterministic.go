@@ -162,6 +162,7 @@ func (nd *dnode) keepsOut() bool {
 
 // sendChildren sends p on every tree child edge.
 func (nd *dnode) sendChildren(p sim.Payload) {
+	//mmlint:commutative sends on distinct edges; delivery sorts each inbox by (sender, edge id), so staging order never reaches transcripts
 	for e := range nd.children {
 		nd.c.Send(nd.c.LinkOf(e), p)
 	}
@@ -277,6 +278,7 @@ func (nd *dnode) pushToChildren(in sim.Input, kind uint8, value int64) (got int6
 	sentDown := false
 	relay := func(v int64) {
 		nd.sendChildren(dPushD{Kind: kind, V: v})
+		//mmlint:commutative sends on distinct edges; delivery sorts each inbox by (sender, edge id), so staging order never reaches transcripts
 		for e := range nd.hooks {
 			nd.c.Send(nd.c.LinkOf(e), dCross{Kind: kind, V: v})
 		}

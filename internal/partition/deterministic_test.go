@@ -7,6 +7,7 @@ import (
 )
 
 func TestDeterministicSmallGraphs(t *testing.T) {
+	//mmlint:commutative independent subtests; names label, order never asserted
 	for name, g := range testGraphs(t, 64) {
 		t.Run(name, func(t *testing.T) {
 			f, met, info, err := Deterministic(g, 1)
@@ -239,6 +240,7 @@ func TestDeterministicLargerRandom(t *testing.T) {
 }
 
 func TestParallelMWOEVariant(t *testing.T) {
+	//mmlint:commutative independent subtests; names label, order never asserted
 	for name, g := range testGraphs(t, 64) {
 		t.Run(name, func(t *testing.T) {
 			f, met, info, err := DeterministicParallelMWOE(g, 1)

@@ -53,6 +53,7 @@ func checkSpanningForest(t *testing.T, g *graph.Graph, f *forest.Forest, maxRadi
 }
 
 func TestRandomizedSmallGraphs(t *testing.T) {
+	//mmlint:commutative independent subtests; names label, order never asserted
 	for name, g := range testGraphs(t, 64) {
 		t.Run(name, func(t *testing.T) {
 			f, met, info, err := Randomized(g, 7)
@@ -176,6 +177,7 @@ func TestRandomizedTimeBound(t *testing.T) {
 
 func TestLasVegasAlwaysBalanced(t *testing.T) {
 	const n = 100
+	//mmlint:commutative independent subtests; names label, order never asserted
 	for name, g := range testGraphs(t, n) {
 		t.Run(name, func(t *testing.T) {
 			f, _, info, err := RandomizedLasVegas(g, 11)

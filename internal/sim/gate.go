@@ -48,11 +48,15 @@ type gateWaiter struct {
 // park publishes this waiter as parked. The caller must re-check its wait
 // condition afterwards and then call either unpark (condition already met)
 // or block (still unmet).
+//
+//mmlint:noalloc
 func (w *gateWaiter) park() { w.parked.Store(true) }
 
 // unpark withdraws a park when the condition turned out to be already met.
 // If a signaler claimed the flag in the window, its wake is in flight (the
 // channel is buffered, the signaler never blocks) and must be drained here.
+//
+//mmlint:noalloc
 func (w *gateWaiter) unpark() {
 	if !w.parked.Swap(false) {
 		<-w.ch
@@ -61,11 +65,15 @@ func (w *gateWaiter) unpark() {
 
 // block waits for a signaler's wake. The signaler has already cleared the
 // parked flag by the time the wake is received.
+//
+//mmlint:noalloc
 func (w *gateWaiter) block() { <-w.ch }
 
 // wake releases the waiter iff it is parked (or mid-park: the flag is
 // published before the waiter's final condition check, so a claimed flag
 // with a sent wake is never lost).
+//
+//mmlint:noalloc
 func (w *gateWaiter) wake() {
 	if w.parked.Swap(false) {
 		w.ch <- struct{}{}
@@ -95,6 +103,7 @@ func newPhaseGate(workers int) *phaseGate {
 	}
 	// Spinning is only productive when every participant (the workers plus
 	// the coordinator) can hold a core at once.
+	//mmlint:nondet sizes the gate's spin budget only; wait strategy never reaches transcripts
 	if runtime.GOMAXPROCS(0) > workers {
 		g.spin = gateSpin
 	}
@@ -103,6 +112,8 @@ func newPhaseGate(workers int) *phaseGate {
 
 // release publishes the phase and flips the sense, starting all workers on
 // it. Coordinator-only; must not be called again before wait returns.
+//
+//mmlint:noalloc
 func (g *phaseGate) release(phase int8) {
 	g.phase = phase
 	g.pending.Store(int32(len(g.workers)))
@@ -117,6 +128,8 @@ func (g *phaseGate) release(phase int8) {
 // spin path while the last worker's wake was still in flight, that stale
 // wake can claim a later park. pending==0 is the sole authority, so the
 // loop re-checks it after every block and re-parks on a spurious wake.
+//
+//mmlint:noalloc
 func (g *phaseGate) wait() {
 	for {
 		for s := 0; s < g.spin; s++ {
@@ -143,6 +156,8 @@ func (g *phaseGate) wait() {
 // previous wake, and that stale wake then claims the new park. The epoch
 // flip is the sole authority, so the loop re-parks until it advances —
 // otherwise the caller would re-run the same phase and double-finish.
+//
+//mmlint:noalloc
 func (g *phaseGate) await(i int, last uint32) uint32 {
 	w := &g.workers[i]
 	for {
@@ -165,6 +180,8 @@ func (g *phaseGate) await(i int, last uint32) uint32 {
 
 // finish marks worker i's phase work complete, waking the coordinator on
 // the last arrival.
+//
+//mmlint:noalloc
 func (g *phaseGate) finish() {
 	if g.pending.Add(-1) == 0 {
 		g.coord.wake()

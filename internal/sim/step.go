@@ -470,6 +470,7 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		workers = DefaultWorkers
 	}
 	if workers <= 0 {
+		//mmlint:nondet sizes the worker pool only; transcripts are worker-count-invariant (difftest-enforced)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
@@ -693,6 +694,8 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 // iteration before the earliest such event just resolves a writer-free slot
 // — idle, or a jammed collision — so the engine skips them and accrues
 // those slots arithmetically.
+//
+//mmlint:noalloc
 func (e *stepEngine) fastForward(r int) int {
 	// The budget fails at iteration maxRounds (round+1 > maxRounds there).
 	R := e.cfg.maxRounds
@@ -703,6 +706,7 @@ func (e *stepEngine) fastForward(r int) int {
 		if s.pendingN == 0 {
 			continue
 		}
+		//mmlint:commutative min reduction over due rounds; order-free
 		for p := range s.pending {
 			if p-1 < R {
 				R = p - 1
@@ -735,6 +739,8 @@ func (e *stepEngine) fastForward(r int) int {
 
 // hasPulseSleepers reports whether any node is parked awaiting the pulse,
 // compacting entries invalidated by an early message wake or a crash.
+//
+//mmlint:noalloc
 func (e *stepEngine) hasPulseSleepers() bool {
 	any := false
 	for i := range e.shards {
@@ -758,6 +764,8 @@ func (e *stepEngine) hasPulseSleepers() bool {
 // runPhase executes one phase over the shards, inline when the round is
 // small or the engine single-threaded, on the persistent worker pool behind
 // the phase gate otherwise (the coordinator takes shard 0 itself).
+//
+//mmlint:noalloc
 func (e *stepEngine) runPhase(phase int8, stepped []int, awakeTotal int) {
 	if e.gate == nil || awakeTotal < inlineThreshold {
 		switch phase {
@@ -781,6 +789,8 @@ func (e *stepEngine) runPhase(phase int8, stepped []int, awakeTotal int) {
 
 // phaseShard runs one shard's slice of a phase, skipping shards the phase
 // has no work for.
+//
+//mmlint:noalloc
 func (e *stepEngine) phaseShard(phase int8, i int) {
 	switch phase {
 	case phaseStep:
@@ -798,6 +808,8 @@ func (e *stepEngine) phaseShard(phase int8, i int) {
 // the delivery phase: fresh buckets staged for it, delayed messages due
 // this round, or pulse-parked nodes to wake. Shared by the inline and
 // worker paths, so empty shards are never drained on either.
+//
+//mmlint:noalloc
 func (e *stepEngine) needsDelivery(d int) bool {
 	sd := &e.shards[d]
 	if sd.pendingN > 0 && len(sd.pending[e.round+1]) > 0 {
@@ -856,6 +868,8 @@ func (e *stepEngine) stopWorkers() {
 // that node; the rest of the round still runs everywhere (as it does on the
 // goroutine engine), and the run aborts at the round's end with the
 // lowest-node error.
+//
+//mmlint:noalloc
 func (e *stepEngine) stepShard(s *stepShard) {
 	defer func() {
 		// Machine panics are handled batch-wise in stepNodes; this catches
@@ -881,6 +895,8 @@ func (e *stepEngine) stepShard(s *stepShard) {
 // (exactly as a goroutine program's are), the node leaves the run like an
 // errored program, and the index after it is returned so the caller resumes
 // the batch.
+//
+//mmlint:noalloc
 func (e *stepEngine) stepNodes(s *stepShard, start int) (next int) {
 	i := start
 	defer func() {
@@ -942,6 +958,8 @@ func (e *stepEngine) stepNodes(s *stepShard, start int) (next int) {
 
 // commitNode commits one stepped node's staged sends and channel write into
 // its shard's buckets and write summary.
+//
+//mmlint:noalloc
 func (e *stepEngine) commitNode(s *stepShard, sc *StepCtx) {
 	if sc.chPending {
 		s.writers++
@@ -968,6 +986,8 @@ func (e *stepEngine) commitNode(s *stepShard, sc *StepCtx) {
 // keeping inboxes presorted by sender range) through the fault hook, sort
 // multi-message inboxes by (sender, edge id), count messages and drops, and
 // wake sleeping recipients.
+//
+//mmlint:noalloc
 func (e *stepEngine) deliverShard(d int) {
 	sd := &e.shards[d]
 	defer func() {
@@ -1033,6 +1053,8 @@ func (e *stepEngine) applyMsgFaults(sd *stepShard, m *delivered, deliverRound in
 
 // takePending removes and returns the pending bucket due at deliverRound,
 // or nil.
+//
+//mmlint:noalloc
 func (sd *stepShard) takePending(deliverRound int) []delivered {
 	if sd.pendingN == 0 {
 		return nil
@@ -1048,6 +1070,8 @@ func (sd *stepShard) takePending(deliverRound int) []delivered {
 
 // recyclePending returns a drained pending bucket's backing array to the
 // shard's free list, clearing its payload references.
+//
+//mmlint:noalloc
 func (sd *stepShard) recyclePending(late []delivered) {
 	clear(late)
 	sd.pendingFree = append(sd.pendingFree, late[:0])
@@ -1056,6 +1080,8 @@ func (sd *stepShard) recyclePending(late []delivered) {
 // deliverReuse is the delivery phase for native runs, whose inbox buffers
 // are engine-owned and reused round after round (Machine inputs are only
 // valid during Step) — steady-state delivery allocates nothing.
+//
+//mmlint:noalloc
 func (e *stepEngine) deliverReuse(sd *stepShard, d int, deliverRound int) {
 	if late := sd.takePending(deliverRound); late != nil {
 		for i := range late {
@@ -1193,6 +1219,8 @@ func (e *stepEngine) deliverArena(sd *stepShard, d int, deliverRound int) {
 
 // sortInbox orders one inbox by (sender, edge id) — the delivery order both
 // engines guarantee.
+//
+//mmlint:noalloc
 func sortInbox(box []Message) {
 	slices.SortFunc(box, func(a, b Message) int {
 		if c := cmp.Compare(a.From, b.From); c != 0 {
@@ -1204,6 +1232,8 @@ func sortInbox(box []Message) {
 
 // deposit lands one message in its destination inbox (or the halted-drop
 // count), waking a sleeping recipient. sd must be m.to's shard.
+//
+//mmlint:noalloc
 func (e *stepEngine) deposit(sd *stepShard, m *delivered) {
 	dst := &e.nodes[m.to]
 	if dst.halted {

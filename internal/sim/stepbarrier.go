@@ -34,6 +34,8 @@ func NewStepBarrier(c *StepCtx) *StepBarrier { return &StepBarrier{c: c} }
 // true — without calling handle — on the round the pulse arrives, leaving
 // the barrier reset for the next step. On a false return the machine must
 // return from its own Step immediately (the node may have been parked).
+//
+//mmlint:noalloc
 func (b *StepBarrier) Step(in Input, handle func(Input) bool) (done bool) {
 	if b.armed && in.IsPulse() {
 		b.armed = false
