@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test test-short test-race bench bench-check bench-quick chaos fuzz golden scale-smoke ci
+.PHONY: build vet lint test test-short test-race bench bench-check bench-quick chaos fuzz golden obs-smoke scale-smoke ci
 
 ## build: compile every package (the tier-1 gate's first half)
 build:
@@ -69,6 +69,18 @@ fuzz:
 ## determinism changes only)
 golden:
 	$(GO) test ./cmd/mmnet -run TestGoldenTranscripts -update
+
+## obs-smoke: end-to-end observability gate (CI's obs-smoke job) — a census
+## on a 10⁴ ring through the real CLI with -trace and -series, then the
+## structural validators: the trace parses as Chrome trace_event JSON with
+## phase spans, the series emits header + one row per round with column
+## sums equal to the final metrics, the series header matches its golden,
+## and the committed example trace still opens (Perfetto-loadable form)
+obs-smoke:
+	$(GO) run ./cmd/mmnet -graph ring:10000 -algo census -workers 1 \
+		-trace /tmp/mmnet-obs-smoke-trace.json -series /tmp/mmnet-obs-smoke-series.ndjson
+	$(GO) test ./cmd/mmnet -run TestObsSmoke -count=1
+	$(GO) test ./internal/obs -run 'TestExampleTraceFixture|TestTraceChromeJSON|TestSeriesSumsMatchMetricsUnderFaults' -count=1
 
 ## scale-smoke: the 10⁷-node acceptance gate of the implicit-topology
 ## substrate — a census over ring:10000000 runs without ever materializing

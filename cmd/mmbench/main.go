@@ -37,6 +37,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/graph"
 	"repro/internal/mst"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/size"
 )
@@ -103,11 +104,30 @@ func run(args []string, w io.Writer) error {
 		full    = fs.Bool("full", false, "run the 10⁶-node scale rows (minutes)")
 		nodes   = fs.Int("n", 100_000, "node count for the relay/census benchmark rows")
 		compare = fs.String("compare", "", "baseline report to diff against; >25% nodes/sec regression fails")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics and pprof /debug/pprof on this address while the suite runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rep := &Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Full: *full}
+
+	// With -metrics-addr the whole suite is observed: an Obs becomes the
+	// process-default recorder (every benchmarked run feeds the registry)
+	// and the registry is served for scraping while rows run. Off by
+	// default so the timed rows stay observation-free.
+	if *metricsAddr != "" {
+		o := obs.New(obs.Options{PprofLabels: true})
+		prev := sim.DefaultRecorder
+		sim.DefaultRecorder = o
+		defer func() { sim.DefaultRecorder = prev }()
+		srv, err := obs.Serve(*metricsAddr, o.Registry())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mmbench: serving /metrics and /debug/pprof on http://%s\n", srv.Addr)
+	}
 
 	ring, err := graph.Ring(*nodes, 1)
 	if err != nil {
@@ -166,6 +186,13 @@ func run(args []string, w io.Writer) error {
 		}); err != nil {
 			return err
 		}
+	}
+
+	// Phase-breakdown rows: where a relay round's time goes — step compute
+	// vs delivery vs barrier wait — per worker count. This is the
+	// measurement the ROADMAP's multicore campaign reads.
+	if err := phaseRows(w, rep, ring, *nodes); err != nil {
+		return err
 	}
 
 	// Scale rows: the E11 configurations, one timed run each on the step
@@ -288,6 +315,41 @@ func compareReports(w io.Writer, cur *Report, baselinePath string) error {
 		return fmt.Errorf("%d row(s) failed the gate vs %s: %v", len(regressions), baselinePath, regressions)
 	}
 	fmt.Fprintf(w, "compare: no row regressed >%.0f%% vs %s\n", (1-regressionTolerance)*100, baselinePath)
+	return nil
+}
+
+// phaseRows runs the native relay once per worker count with an obs
+// recorder attached and emits one row per engine phase: ns_per_op is the
+// phase's total nanoseconds across the run, and the note carries the
+// per-span p50/p95/max from the duration histogram. nodes_per_sec is 0 so
+// the -compare wall-clock gate skips these rows (phase splits shift with
+// hardware shape; the trajectory is informational). The observed run is
+// separate from the relay benchmark rows above, whose timings stay
+// recorder-free.
+func phaseRows(w io.Writer, rep *Report, g *graph.Graph, n int) error {
+	for _, workers := range []int{1, 4} {
+		o := obs.New(obs.Options{})
+		if _, err := sim.RunStep(g, func(c *sim.StepCtx) sim.Machine { return relayMachine{c: c} },
+			sim.WithWorkers(workers), sim.WithRecorder(o)); err != nil {
+			return err
+		}
+		for p := sim.Phase(0); p < sim.NumPhases; p++ {
+			s := o.PhaseSummary(p)
+			if s.Count == 0 {
+				// The inline (workers=1) path has no barrier phase.
+				continue
+			}
+			name := fmt.Sprintf("phase/relay-native-w%d/%s", workers, p)
+			rep.Rows = append(rep.Rows, Row{
+				Name: name, Nodes: n, Workers: workers,
+				NsPerOp: s.Sum, Rounds: relayRounds,
+				Note: fmt.Sprintf("total %s ns over one observed relay run; per span p50=%d p95=%d max=%d ns (%d spans)",
+					p, s.P50, s.P95, s.Max, s.Count),
+			})
+			fmt.Fprintf(w, "%-32s %12d ns total  (p50=%d p95=%d max=%d ns/span, %d spans)\n",
+				name, s.Sum, s.P50, s.P95, s.Max, s.Count)
+		}
+	}
 	return nil
 }
 

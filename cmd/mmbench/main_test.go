@@ -41,6 +41,11 @@ func TestBenchReportShape(t *testing.T) {
 		"relay/step-native":          false,
 		"relay/step-native-w4":       false,
 		"relay/step-native-w8":       false,
+		"phase/relay-native-w1/step":    false,
+		"phase/relay-native-w1/deliver": false,
+		"phase/relay-native-w4/step":    false,
+		"phase/relay-native-w4/deliver": false,
+		"phase/relay-native-w4/barrier": false,
 		"scale/census-step":          false,
 		"scale/forest+coloring-step": false,
 		"scale/mst-merge-step":       false,
@@ -65,6 +70,14 @@ func TestBenchReportShape(t *testing.T) {
 			}
 			if row.Name == "mem/ring-implicit" && row.Bytes > 1<<20 {
 				t.Errorf("row %q: implicit topology cost %d bytes; want O(1)", row.Name, row.Bytes)
+			}
+			continue
+		}
+		if strings.HasPrefix(row.Name, "phase/") {
+			// Phase rows are informational totals: no nodes/sec (the
+			// -compare wall-clock gate skips them by design).
+			if row.NsPerOp <= 0 || row.NodesPerSec != 0 || row.Nodes <= 0 {
+				t.Errorf("row %q has degenerate values: %+v", row.Name, row)
 			}
 			continue
 		}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -48,6 +49,9 @@ func run(args []string, w io.Writer) error {
 		jamRate   = fs.Float64("jam", 0, "jam every channel slot with this probability")
 		faultSeed = fs.Int64("fault-seed", 1, "seed for the fault plan's probabilistic rules")
 		maxRounds = fs.Int("max-rounds", 0, "round budget per run (0 = graph-derived default); bound wedged faulted runs")
+
+		tracePath   = fs.String("trace", "", "write engine phase spans across every run as Chrome trace_event JSON to this file")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics and pprof /debug/pprof on this address while the sweep runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -64,10 +68,30 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	oldE, oldW, oldF, oldM := sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds
-	sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds = eng, *workers, plan, *maxRounds
+	// With -trace or -metrics-addr, an Obs observes every run of the sweep
+	// through the process-default recorder (observation never changes the
+	// tables — see the sim.Recorder contract).
+	var o *obs.Obs
+	if *tracePath != "" || *metricsAddr != "" {
+		o = obs.New(obs.Options{Trace: *tracePath != "", PprofLabels: true})
+		if *metricsAddr != "" {
+			srv, err := obs.Serve(*metricsAddr, o.Registry())
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "mmexp: serving /metrics and /debug/pprof on http://%s\n", srv.Addr)
+		}
+	}
+	var rec sim.Recorder
+	if o != nil {
+		rec = o
+	}
+
+	oldE, oldW, oldF, oldM, oldR := sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds, sim.DefaultRecorder
+	sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds, sim.DefaultRecorder = eng, *workers, plan, *maxRounds, rec
 	defer func() {
-		sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds = oldE, oldW, oldF, oldM
+		sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds, sim.DefaultRecorder = oldE, oldW, oldF, oldM, oldR
 	}()
 
 	experiments := exp.All()
@@ -91,6 +115,17 @@ func run(args []string, w io.Writer) error {
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiment matches %q", *only)
+	}
+	if o != nil && *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	return nil
 }

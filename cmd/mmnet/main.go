@@ -32,6 +32,7 @@ import (
 	"repro/internal/globalfunc"
 	"repro/internal/graph"
 	"repro/internal/mst"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/resolve"
 	"repro/internal/sim"
@@ -76,12 +77,14 @@ func (r *report) set(key string, v any) {
 }
 
 // setSimDefaults installs the process-wide simulator defaults the flags
-// describe and returns a restore function (keeps tests hermetic).
-func setSimDefaults(eng sim.Engine, workers int, plan *fault.Plan, maxRounds int) func() {
-	oldE, oldW, oldF, oldM := sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds
-	sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds = eng, workers, plan, maxRounds
+// describe and returns a restore function (keeps tests hermetic). The
+// recorder rides along so every inner run of a multi-stage algorithm is
+// observed, not just the outermost one.
+func setSimDefaults(eng sim.Engine, workers int, plan *fault.Plan, maxRounds int, rec sim.Recorder) func() {
+	oldE, oldW, oldF, oldM, oldR := sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds, sim.DefaultRecorder
+	sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds, sim.DefaultRecorder = eng, workers, plan, maxRounds, rec
 	return func() {
-		sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds = oldE, oldW, oldF, oldM
+		sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultMaxRounds, sim.DefaultRecorder = oldE, oldW, oldF, oldM, oldR
 	}
 }
 
@@ -106,6 +109,11 @@ func run(args []string, w io.Writer) error {
 		jamRate   = fs.Float64("jam", 0, "jam every channel slot with this probability")
 		faultSeed = fs.Int64("fault-seed", 1, "seed for the fault plan's probabilistic rules (unless the DSL pins seed:N)")
 		maxRounds = fs.Int("max-rounds", 0, "round budget per run (0 = graph-derived default); bound wedged faulted runs")
+
+		tracePath   = fs.String("trace", "", "write engine phase spans as Chrome trace_event JSON to this file (load in Perfetto or about:tracing)")
+		seriesPath  = fs.String("series", "", "stream per-round NDJSON time series to this file ('-' = stdout)")
+		seriesEvery = fs.Int("series-every", 1, "aggregate this many rounds per series row (column sums stay exact at any factor)")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics and pprof /debug/pprof on this address for the run's duration (e.g. localhost:9100)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -122,7 +130,6 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer setSimDefaults(eng, *workers, plan, *maxRounds)()
 
 	g, err := graph.ParseSpecWith(*gname, *seed, graph.SpecDefaults{
 		N: *n, Extra: *extra, Rays: *rays, RayLen: *rayLen,
@@ -135,9 +142,79 @@ func run(args []string, w io.Writer) error {
 		engineLabel = "step (native protocol)"
 	}
 
+	// Observability: any of -trace/-series/-metrics-addr builds an Obs and
+	// installs it as the run's default recorder, so every sim run the
+	// algorithm performs — including inner runs of multi-stage protocols —
+	// lands in the same trace, series, and registry. By the recorder
+	// contract none of this changes the transcript.
+	var o *obs.Obs
+	var seriesFile *os.File
+	if *tracePath != "" || *seriesPath != "" || *metricsAddr != "" {
+		opts := obs.Options{
+			Trace:       *tracePath != "",
+			PprofLabels: *tracePath != "" || *metricsAddr != "",
+			SeriesEvery: *seriesEvery,
+		}
+		if *seriesPath != "" {
+			var sw io.Writer = w
+			if *seriesPath != "-" {
+				if seriesFile, err = os.Create(*seriesPath); err != nil {
+					return err
+				}
+				sw = seriesFile
+			}
+			opts.Series = sw
+			opts.Header = obs.SeriesHeader{
+				Algo: *algo, Graph: *gname, N: g.N(), Seed: *seed,
+				Engine: engineLabel, Workers: *workers,
+			}
+			if plan != nil {
+				opts.Header.Faults = plan.String()
+			}
+		}
+		o = obs.New(opts)
+		if *metricsAddr != "" {
+			srv, err := obs.Serve(*metricsAddr, o.Registry())
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "mmnet: serving /metrics and /debug/pprof on http://%s\n", srv.Addr)
+		}
+	}
+	var rec sim.Recorder
+	if o != nil {
+		rec = o
+	}
+	defer setSimDefaults(eng, *workers, plan, *maxRounds, rec)()
+
 	rep, err := runAlgo(*algo, g, *seed, *variant, *stage)
 	if err != nil {
 		return err
+	}
+
+	if o != nil {
+		if err := o.Close(); err != nil {
+			return fmt.Errorf("series: %w", err)
+		}
+		if seriesFile != nil {
+			if err := seriesFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			if err := o.WriteTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
 	}
 
 	if *jsonOut {
@@ -146,6 +223,7 @@ func run(args []string, w io.Writer) error {
 			"n":       g.N(),
 			"m":       g.M(),
 			"engine":  engineLabel,
+			"workers": *workers,
 			"algo":    *algo,
 			"seed":    *seed,
 			"result":  rep.result,
@@ -158,8 +236,8 @@ func run(args []string, w io.Writer) error {
 		return enc.Encode(obj)
 	}
 
-	fmt.Fprintf(w, "graph=%s n=%d m=%d diameter>=%d sqrt(n)=%d engine=%s\n",
-		*gname, g.N(), g.M(), graph.DiameterLowerBound(g), partition.SqrtN(g.N()), engineLabel)
+	fmt.Fprintf(w, "graph=%s n=%d m=%d diameter>=%d sqrt(n)=%d engine=%s workers=%d\n",
+		*gname, g.N(), g.M(), graph.DiameterLowerBound(g), partition.SqrtN(g.N()), engineLabel, *workers)
 	if plan != nil {
 		fmt.Fprintf(w, "faults=%s\n", plan)
 	}
@@ -167,7 +245,36 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w, line)
 	}
 	printMetrics(w, rep.metrics)
+	if o != nil {
+		printPhases(w, o)
+	}
 	return nil
+}
+
+// printPhases appends the per-phase duration digest to the human report.
+func printPhases(w io.Writer, o *obs.Obs) {
+	for p := sim.Phase(0); p < sim.NumPhases; p++ {
+		s := o.PhaseSummary(p)
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "phase %-7s p50=%s p95=%s max=%s total=%s (%d spans)\n",
+			p.String(), ns(s.P50), ns(s.P95), ns(s.Max), ns(s.Sum), s.Count)
+	}
+}
+
+// ns renders a nanosecond count with a unit suffix.
+func ns(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fus", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
 }
 
 // runAlgo executes one algorithm and reports its outcome — the testable

@@ -33,6 +33,15 @@ var DetSource = &Analyzer{
 // fault, and every protocol package are transcript-affecting; cmd/,
 // examples/, and internal/exp only time and report, and test files are
 // excluded wholesale (timeouts and bench clocks are fine).
+//
+// repro/internal/obs is deliberately ABSENT: it is the observability layer
+// behind the sim.Recorder seam and is wall-clock-timed by nature (span
+// timestamps, phase histograms). The recorder contract — observation never
+// alters transcripts, enforced by the root obs_equiv_test.go — is what
+// keeps its nondeterminism out of transcripts, not this analyzer; its
+// time.Now call sites carry //mmlint:nondet annotations as documentation.
+// The engines themselves stay in scope and never read the clock: all
+// timing lives behind the Recorder interface.
 var detScope = []string{
 	"repro/internal/sim",
 	"repro/internal/fault",

@@ -1,0 +1,104 @@
+package sim
+
+// metrics_drift_test.go is the counter-drift guard: every field of Metrics
+// must be carried by Add (multi-stage totals), Sub (recorder deltas), and
+// MarshalJSON (mmnet -json, and the key set the obs series rows mirror).
+// The checks are reflective, so the next counter added to the struct fails
+// here until all three are extended — it cannot silently vanish from
+// totals, series sums, or machine-readable output.
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fillDistinct sets field i of m to base*(i+1), returning the expectations.
+func fillDistinct(m *Metrics, base int64) []int64 {
+	v := reflect.ValueOf(m).Elem()
+	want := make([]int64, v.NumField())
+	for i := 0; i < v.NumField(); i++ {
+		want[i] = base * int64(i+1)
+		v.Field(i).SetInt(want[i])
+	}
+	return want
+}
+
+func TestMetricsAddSubCoverEveryField(t *testing.T) {
+	var a, b Metrics
+	wa := fillDistinct(&a, 1)
+	wb := fillDistinct(&b, 1000)
+
+	sum := a
+	sum.Add(&b)
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < sv.NumField(); i++ {
+		name := sv.Type().Field(i).Name
+		if got, want := sv.Field(i).Int(), wa[i]+wb[i]; got != want {
+			t.Errorf("Add dropped field %s: got %d, want %d — extend Metrics.Add", name, got, want)
+		}
+	}
+
+	diff := sum
+	diff.Sub(&b)
+	dv := reflect.ValueOf(diff)
+	for i := 0; i < dv.NumField(); i++ {
+		name := dv.Type().Field(i).Name
+		if got, want := dv.Field(i).Int(), wa[i]; got != want {
+			t.Errorf("Sub dropped field %s: got %d, want %d — extend Metrics.Sub", name, got, want)
+		}
+	}
+}
+
+// snakeCase converts a Go field name to its expected JSON key
+// (SlotsIdle -> slots_idle).
+func snakeCase(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func TestMetricsMarshalJSONCoversEveryField(t *testing.T) {
+	var m Metrics
+	want := fillDistinct(&m, 7)
+
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]int64
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		t.Fatal(err)
+	}
+
+	mt := reflect.TypeOf(m)
+	for i := 0; i < mt.NumField(); i++ {
+		key := snakeCase(mt.Field(i).Name)
+		got, ok := obj[key]
+		if !ok {
+			t.Errorf("MarshalJSON dropped field %s (expected key %q) — extend the marshal struct", mt.Field(i).Name, key)
+			continue
+		}
+		if got != want[i] {
+			t.Errorf("MarshalJSON field %s: got %d, want %d", mt.Field(i).Name, got, want[i])
+		}
+	}
+
+	// The derived totals must stay derived: the marshal must also carry
+	// slots and communication computed from the raw fields.
+	if obj["slots"] != m.Slots() {
+		t.Errorf("slots = %d, want %d", obj["slots"], m.Slots())
+	}
+	if obj["communication"] != m.Communication() {
+		t.Errorf("communication = %d, want %d", obj["communication"], m.Communication())
+	}
+}

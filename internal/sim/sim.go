@@ -207,6 +207,7 @@ type config struct {
 	workers   int
 	faults    *fault.Plan
 	faultsSet bool
+	rec       Recorder
 }
 
 // plan resolves the run's fault plan: the WithFaults option when given,
@@ -471,6 +472,10 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 		return nil, err
 	}
 	n := g.N()
+	rec := cfg.recorder()
+	if rec != nil {
+		rec.RunStart(n, EngineGoroutine, 1, 1)
+	}
 	ctxs := make([]*Ctx, n)
 	for v := 0; v < n; v++ {
 		ctxs[v] = newCtx(g, graph.NodeID(v), cfg.seed)
@@ -526,6 +531,10 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 	aliveCount := n
 
 	for round := 0; ; round++ {
+		var tStep, tDeliver int64
+		if rec != nil {
+			tStep = rec.BeginPhase(PhaseStep, 0)
+		}
 		// Wait for every live node to either tick or halt. After receiving a
 		// node's done, reading its Ctx fields is race-free.
 		for v, ctx := range ctxs {
@@ -539,6 +548,10 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 		}
 
 		met.Rounds = round + 1
+		if rec != nil {
+			rec.EndPhase(PhaseStep, 0, round, tStep)
+			tDeliver = rec.BeginPhase(PhaseDeliver, 0)
+		}
 
 		// Resolve the channel slot.
 		var writer *Ctx
@@ -630,6 +643,10 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 		}
 
 		if aliveCount == 0 {
+			if rec != nil {
+				rec.EndPhase(PhaseDeliver, 0, round, tDeliver)
+				rec.RoundEnd(round+1, aliveCount, slot.State, met)
+			}
 			break
 		}
 
@@ -653,12 +670,30 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 					alive[v] = false
 				}
 			}
+			if rec != nil {
+				rec.EndPhase(PhaseDeliver, 0, round, tDeliver)
+				rec.RoundEnd(round+1, 0, slot.State, met)
+			}
 			break
+		}
+
+		// Count the messages addressed to halted nodes before the round's
+		// sample is taken, so each round's DroppedHalted lands in its own
+		// series delta. Only the continuing path accrues them — a run that
+		// ends this round never observed those inboxes, exactly as before.
+		for v := range ctxs {
+			if !alive[v] && len(inboxes[v]) > 0 {
+				met.DroppedHalted += int64(len(inboxes[v]))
+				inboxes[v] = nil
+			}
+		}
+		if rec != nil {
+			rec.EndPhase(PhaseDeliver, 0, round, tDeliver)
+			rec.RoundEnd(round+1, aliveCount, slot.State, met)
 		}
 
 		for v, ctx := range ctxs {
 			if !alive[v] {
-				met.DroppedHalted += int64(len(inboxes[v]))
 				continue
 			}
 			ctx.resume <- Input{Round: round + 1, Msgs: inboxes[v], Slot: slot}
@@ -666,6 +701,9 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 	}
 
 	wg.Wait()
+	if rec != nil {
+		rec.RunEnd(met)
+	}
 	for v, ctx := range ctxs {
 		res.Results[v] = ctx.result
 	}

@@ -413,6 +413,7 @@ type stepEngine struct {
 	mat   *graph.Graph // topo's stored form, or nil — gates the O(m) fast-path indexes
 	cfg   config
 	inj   *fault.Injector // nil for fault-free runs
+	rec   Recorder        // nil = observability off (the zero-cost path)
 	reuse bool            // reuse inbox buffers (native runs; the adapter reallocates)
 
 	nodes []StepCtx
@@ -486,6 +487,7 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		mat:     mat,
 		cfg:     cfg,
 		inj:     inj,
+		rec:     cfg.recorder(),
 		reuse:   reuseInboxes,
 		nodes:   make([]StepCtx, n),
 		inbox:   make([][]Message, n),
@@ -553,6 +555,9 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		}
 	}
 
+	if rec := e.rec; rec != nil {
+		rec.RunStart(n, EngineStep, workers, shardCount)
+	}
 	if workers > 1 {
 		e.startWorkers()
 		defer e.stopWorkers()
@@ -650,12 +655,15 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 			e.met.Duplicated += s.duped
 		}
 
-		if !e.continuing {
-			break
-		}
 		awakeTotal = 0
 		for i := range e.shards {
 			awakeTotal += len(e.shards[i].awake)
+		}
+		if rec := e.rec; rec != nil {
+			rec.RoundEnd(round+1, awakeTotal, slot.State, &e.met)
+		}
+		if !e.continuing {
+			break
 		}
 		if awakeTotal == 0 && !disableFastForward {
 			// Fully parked network, nothing staged: no machine can run until
@@ -671,6 +679,9 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 	}
 
 	e.abortMachines()
+	if rec := e.rec; rec != nil {
+		rec.RunEnd(&e.met)
+	}
 	if err := e.err(); err != nil {
 		return nil, err
 	}
@@ -734,6 +745,9 @@ func (e *stepEngine) fastForward(r int) int {
 	jammed := e.inj.CountJammed(r+2, R)
 	e.met.SlotsJammed += jammed
 	e.met.SlotsIdle += skipped - jammed
+	if rec := e.rec; rec != nil {
+		rec.FastForward(r+2, R)
+	}
 	return R - 1
 }
 
@@ -771,34 +785,53 @@ func (e *stepEngine) runPhase(phase int8, stepped []int, awakeTotal int) {
 		switch phase {
 		case phaseStep:
 			for _, si := range stepped {
-				e.stepShard(&e.shards[si])
+				e.phaseShard(phase, si)
 			}
 		case phaseDeliver:
 			for d := range e.shards {
-				if e.needsDelivery(d) {
-					e.deliverShard(d)
-				}
+				e.phaseShard(phase, d)
 			}
 		}
 		return
 	}
 	e.gate.release(phase)
 	e.phaseShard(phase, 0)
+	if rec := e.rec; rec != nil {
+		// The coordinator's barrier wait: its own shard is done, the round
+		// cannot advance until the last worker arrives.
+		t0 := rec.BeginPhase(PhaseBarrier, 0)
+		e.gate.wait()
+		rec.EndPhase(PhaseBarrier, 0, e.round, t0)
+		return
+	}
 	e.gate.wait()
 }
 
 // phaseShard runs one shard's slice of a phase, skipping shards the phase
-// has no work for.
+// has no work for. Shards that do run are bracketed by the recorder's phase
+// span when observability is on; skipped shards record nothing.
 //
 //mmlint:noalloc
 func (e *stepEngine) phaseShard(phase int8, i int) {
 	switch phase {
 	case phaseStep:
 		if len(e.shards[i].awake) > 0 {
+			if rec := e.rec; rec != nil {
+				t0 := rec.BeginPhase(PhaseStep, i)
+				e.stepShard(&e.shards[i])
+				rec.EndPhase(PhaseStep, i, e.round, t0)
+				return
+			}
 			e.stepShard(&e.shards[i])
 		}
 	case phaseDeliver:
 		if e.needsDelivery(i) {
+			if rec := e.rec; rec != nil {
+				t0 := rec.BeginPhase(PhaseDeliver, i)
+				e.deliverShard(i)
+				rec.EndPhase(PhaseDeliver, i, e.round, t0)
+				return
+			}
 			e.deliverShard(i)
 		}
 	}
@@ -839,10 +872,21 @@ func (e *stepEngine) startWorkers() {
 // workerLoop is one persistent worker: woken by the gate for each phase, it
 // runs its shard's slice and reports completion, until told to exit.
 func (e *stepEngine) workerLoop(shard int) {
+	rec := e.rec
 	var epoch uint32
 	for {
+		var t0 int64
+		if rec != nil {
+			t0 = rec.BeginPhase(PhaseBarrier, shard)
+		}
 		epoch = e.gate.await(shard-1, epoch)
 		phase := e.gate.phase
+		if rec != nil {
+			// Everything since the previous finish — the coordinator's
+			// sequential section plus the gate wait — is time this worker
+			// spent barred from shard work.
+			rec.EndPhase(PhaseBarrier, shard, e.round, t0)
+		}
 		if phase != phaseExit {
 			e.phaseShard(phase, shard)
 		}

@@ -1,0 +1,91 @@
+package repro
+
+// obs_equiv_test.go enforces the recorder transparency contract at the
+// difftest level: for every protocol in the differential registry, a run
+// observed by a fully-enabled obs.Obs (tracing, series, pprof labels, and
+// metrics all on, installed process-wide so inner runs of multi-stage
+// algorithms are observed too) must produce the outcome — value or error —
+// of the same run unobserved, on both engines and at 1 and 4 workers.
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/difftest"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func TestObservedRunsMatchUnobserved(t *testing.T) {
+	configs := []struct {
+		name    string
+		engine  sim.Engine
+		workers int
+	}{
+		{"goroutine", sim.EngineGoroutine, 1},
+		{"step-w1", sim.EngineStep, 1},
+		{"step-w4", sim.EngineStep, 4},
+	}
+	plans := []string{"", "seed:11;crash:4@5;jam:3-4;dup:*@2-9/p0.2/d2"}
+	if testing.Short() {
+		// The faulted plan on the two extreme configs covers every recorder
+		// code path; the full matrix runs in the long suite.
+		configs = []struct {
+			name    string
+			engine  sim.Engine
+			workers int
+		}{configs[0], configs[2]}
+		plans = plans[1:]
+	}
+
+	for _, proto := range difftest.Protocols() {
+		for _, cfg := range configs {
+			for _, planStr := range plans {
+				name := fmt.Sprintf("%s/%s/f%q", proto.Name, cfg.name, planStr)
+				t.Run(name, func(t *testing.T) {
+					g, err := graph.Ring(24, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var plan *fault.Plan
+					if planStr != "" {
+						if plan, err = fault.Parse(planStr); err != nil {
+							t.Fatal(err)
+						}
+					}
+
+					run := func(rec sim.Recorder) (any, error) {
+						oldE, oldW, oldF, oldR := sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultRecorder
+						sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultRecorder = cfg.engine, cfg.workers, plan, rec
+						defer func() {
+							sim.DefaultEngine, sim.DefaultWorkers, sim.DefaultFaults, sim.DefaultRecorder = oldE, oldW, oldF, oldR
+						}()
+						return proto.Run(g, 5)
+					}
+
+					wantVal, wantErr := run(nil)
+					o := obs.New(obs.Options{
+						Trace: true, PprofLabels: true,
+						Series: io.Discard, SeriesEvery: 3,
+					})
+					gotVal, gotErr := run(o)
+					if err := o.Close(); err != nil {
+						t.Fatal(err)
+					}
+
+					if (wantErr == nil) != (gotErr == nil) ||
+						(wantErr != nil && wantErr.Error() != gotErr.Error()) {
+						t.Fatalf("error diverges under observation:\n unobserved: %v\n observed:   %v", wantErr, gotErr)
+					}
+					if !reflect.DeepEqual(wantVal, gotVal) {
+						t.Fatalf("outcome diverges under observation:\n unobserved: %#v\n observed:   %#v", wantVal, gotVal)
+					}
+				})
+			}
+		}
+	}
+}
