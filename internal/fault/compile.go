@@ -92,7 +92,7 @@ func Compile(p *Plan, g graph.Topology) (*Injector, error) {
 			if k > n {
 				k = n
 			}
-			rng := rand.New(rand.NewSource(int64(mix64(uint64(p.Seed), uint64(i), 0x5eed))))
+			rng := rand.New(rand.NewSource(int64(Mix64(uint64(p.Seed), uint64(i), 0x5eed))))
 			for _, v := range rng.Perm(n)[:k] {
 				inj.addCrash(graph.NodeID(v), from+rng.Intn(until-from+1))
 			}
@@ -268,13 +268,19 @@ func (inj *Injector) Jammed(round int) bool {
 // roll is the deterministic coin: a splitmix64-style hash of (plan seed,
 // rule index, event identity) mapped to [0, 1) and compared to prob.
 func (inj *Injector) roll(index int, a, b, c uint64, prob float64) bool {
-	h := mix64(uint64(inj.seed), uint64(index), a)
-	h = mix64(h, b, c)
+	h := Mix64(uint64(inj.seed), uint64(index), a)
+	h = Mix64(h, b, c)
 	return float64(h>>11)/(1<<53) < prob
 }
 
-// mix64 combines three words with the splitmix64 finalizer.
-func mix64(a, b, c uint64) uint64 {
+// Mix64 combines three words with the splitmix64 finalizer. It is the
+// keyed mixing primitive behind every deterministic coin in the module:
+// the injector's probabilistic rules here, the implicit topologies' edge
+// weights, and — critically — the sim engines' per-node RNG seed
+// derivation, where a full-width mix is what guarantees distinct streams
+// for distinct (master seed, node id) pairs at any network size (a linear
+// seed*K+id derivation collides as soon as n exceeds K).
+func Mix64(a, b, c uint64) uint64 {
 	x := a*0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9 + c*0x94d049bb133111eb + 0x2545f4914f6cdd1d
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9

@@ -362,3 +362,110 @@ func TestNextClearSlotAndCountJammed(t *testing.T) {
 		t.Error("nil injector has jams")
 	}
 }
+
+// TestFastForwardWindowBoundaries table-tests the window arithmetic that
+// checkpoint-mid-fast-forward leans on: NextClearSlot and CountJammed at
+// inclusive boundaries (both ends of [from, until] count), degenerate
+// from==until windows, jam-window edges, and open-ended rules.
+func TestFastForwardWindowBoundaries(t *testing.T) {
+	g := testGraph(t)
+	compile := func(p *Plan) *Injector {
+		t.Helper()
+		inj, err := Compile(p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	certain := compile((&Plan{Seed: 1}).Add(Rule{Kind: Jam, From: 3, Until: 8}))
+	point := compile((&Plan{Seed: 1}).Add(Rule{Kind: Jam, From: 5})) // Until 0 => From: one round
+	open := compile((&Plan{Seed: 1}).Add(Rule{Kind: Jam, From: 4, Until: Forever}))
+	twoWin := compile((&Plan{Seed: 1}).Add(
+		Rule{Kind: Jam, From: 2, Until: 3},
+		Rule{Kind: Jam, From: 7, Until: 9},
+	))
+
+	clearCases := []struct {
+		name        string
+		inj         *Injector
+		from, until int
+		want        int
+		ok          bool
+	}{
+		{"empty range from>until", certain, 9, 8, 0, false},
+		{"degenerate clear", certain, 2, 2, 2, true},
+		{"degenerate jammed: lower window edge", certain, 3, 3, 0, false},
+		{"degenerate jammed: upper window edge", certain, 8, 8, 0, false},
+		{"degenerate just past window", certain, 9, 9, 9, true},
+		{"range starts at window start", certain, 3, 20, 9, true},
+		{"range starts at window end", certain, 8, 20, 9, true},
+		{"range ends exactly at first clear", certain, 3, 9, 9, true},
+		{"range ends one short of clear", certain, 3, 8, 0, false},
+		{"point jam skipped", point, 5, 6, 6, true},
+		{"point jam only slot", point, 5, 5, 0, false},
+		{"before point jam", point, 4, 9, 4, true},
+		{"open-ended jam covers range", open, 4, 1000, 0, false},
+		{"open-ended jam starts after from", open, 3, 1000, 3, true},
+		{"gap between two windows", twoWin, 2, 9, 4, true},
+		{"second window edge", twoWin, 7, 10, 10, true},
+	}
+	for _, tt := range clearCases {
+		if got, ok := tt.inj.NextClearSlot(tt.from, tt.until); got != tt.want || ok != tt.ok {
+			t.Errorf("%s: NextClearSlot(%d,%d) = %d, %v, want %d, %v",
+				tt.name, tt.from, tt.until, got, ok, tt.want, tt.ok)
+		}
+	}
+
+	countCases := []struct {
+		name        string
+		inj         *Injector
+		from, until int
+		want        int64
+	}{
+		{"empty range from>until", certain, 8, 3, 0},
+		{"degenerate jammed lower edge", certain, 3, 3, 1},
+		{"degenerate jammed upper edge", certain, 8, 8, 1},
+		{"degenerate clear below", certain, 2, 2, 0},
+		{"degenerate clear above", certain, 9, 9, 0},
+		{"exact window", certain, 3, 8, 6},
+		{"window plus margins", certain, 1, 20, 6},
+		{"clips left", certain, 5, 20, 4},
+		{"clips right", certain, 0, 5, 3},
+		{"disjoint below", certain, 0, 2, 0},
+		{"disjoint above", certain, 9, 1000, 0},
+		{"point jam hit", point, 5, 5, 1},
+		{"point jam in range", point, 1, 10, 1},
+		{"open-ended full range", open, 0, 100, 97},
+		{"open-ended degenerate at start", open, 4, 4, 1},
+		{"two windows spanned", twoWin, 0, 100, 5},
+		{"two windows gap only", twoWin, 4, 6, 0},
+		{"clip inside second window", twoWin, 8, 8, 1},
+	}
+	for _, tt := range countCases {
+		if got := tt.inj.CountJammed(tt.from, tt.until); got != tt.want {
+			t.Errorf("%s: CountJammed(%d,%d) = %d, want %d", tt.name, tt.from, tt.until, got, tt.want)
+		}
+	}
+
+	// The two functions must agree: counting N jammed slots in [from, until]
+	// means NextClearSlot skips exactly those N when they prefix the range.
+	for from := 0; from <= 12; from++ {
+		for until := from; until <= 12; until++ {
+			var brute int64
+			firstClear, fok := 0, false
+			for s := from; s <= until; s++ {
+				if twoWin.Jammed(s) {
+					brute++
+				} else if !fok {
+					firstClear, fok = s, true
+				}
+			}
+			if got := twoWin.CountJammed(from, until); got != brute {
+				t.Errorf("CountJammed(%d,%d) = %d, brute %d", from, until, got, brute)
+			}
+			if got, ok := twoWin.NextClearSlot(from, until); got != firstClear || ok != fok {
+				t.Errorf("NextClearSlot(%d,%d) = %d, %v, brute %d, %v", from, until, got, ok, firstClear, fok)
+			}
+		}
+	}
+}
