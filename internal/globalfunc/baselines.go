@@ -26,8 +26,9 @@ type (
 // build a BFS tree from the distinguished leader (node 0, as in the paper's
 // remark on the known-leader case), convergecast partials, broadcast the
 // result. Θ(d) time, O(m + n) messages; the channel is never used.
-func PointToPoint(g graph.Topology, seed int64, op Op, in Inputs) (*Result, error) {
-	res, err := sim.Run(g, p2pProgram(op, in), sim.WithSeed(seed))
+func PointToPoint(g graph.Topology, seed int64, op Op, in Inputs, opts ...sim.Option) (*Result, error) {
+	opts = append([]sim.Option{sim.WithSeed(seed)}, opts...)
+	res, err := sim.Run(g, p2pProgram(op, in), opts...)
 	if err != nil {
 		return nil, fmt.Errorf("globalfunc: p2p baseline: %w", err)
 	}

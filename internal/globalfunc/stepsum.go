@@ -12,7 +12,9 @@ package globalfunc
 // the goroutine engine's O(n · diameter) channel handoffs.
 
 import (
+	"encoding/gob"
 	"fmt"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -156,6 +158,65 @@ func (m *p2pMachine) finishRound() bool {
 }
 
 func (m *p2pMachine) Result() any { return m.result }
+
+// p2pState is the checkpointable image of p2pMachine: every round-to-round
+// field, exported for gob. The op and StepCtx are reconstruction-time state
+// and stay out of the snapshot.
+type p2pState struct {
+	Partial     int64
+	Adopted     bool
+	Explored    bool
+	SentUp      bool
+	ParentLink  int
+	AcksPending int
+	ChildLinks  []int
+	Reports     int
+	Result      int64
+	ResultSet   bool
+}
+
+// SnapshotState implements sim.Snapshotter: the returned state is a deep
+// copy, so the machine may keep mutating after capture.
+func (m *p2pMachine) SnapshotState() any {
+	return p2pState{
+		Partial:     m.partial,
+		Adopted:     m.adopted,
+		Explored:    m.explored,
+		SentUp:      m.sentUp,
+		ParentLink:  m.parentLink,
+		AcksPending: m.acksPending,
+		ChildLinks:  slices.Clone(m.childLinks),
+		Reports:     m.reports,
+		Result:      m.result,
+		ResultSet:   m.resultSet,
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (m *p2pMachine) RestoreState(state any) {
+	s := state.(p2pState)
+	m.partial = s.Partial
+	m.adopted = s.Adopted
+	m.explored = s.Explored
+	m.sentUp = s.SentUp
+	m.parentLink = s.ParentLink
+	m.acksPending = s.AcksPending
+	m.childLinks = slices.Clone(s.ChildLinks)
+	m.reports = s.Reports
+	m.result = s.Result
+	m.resultSet = s.ResultSet
+}
+
+func init() {
+	// Everything this protocol can put in a checkpoint's `any` fields:
+	// machine state and the four wire payloads (in-flight messages live in
+	// checkpointed inboxes and delay buffers).
+	gob.Register(p2pState{})
+	gob.Register(p2pExplore{})
+	gob.Register(p2pAck{})
+	gob.Register(p2pValue{})
+	gob.Register(p2pResult{})
+}
 
 // PointToPointStep computes the function on the pure point-to-point network
 // with the native step engine — the same protocol, results, and metrics as

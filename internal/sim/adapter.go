@@ -17,6 +17,11 @@ import (
 
 // runStepAdapter executes a goroutine Program on the step engine.
 func runStepAdapter(g graph.Topology, program Program, cfg config) (*Result, error) {
+	if cfg.ckpt != nil || cfg.resume != nil {
+		// The adapter's machines hold blocked program goroutines, whose
+		// stacks cannot be serialized; only native step programs checkpoint.
+		return nil, ErrNotCheckpointable
+	}
 	prog := func(sc *StepCtx) Machine {
 		return &goroutineMachine{sc: sc, ctx: newCtx(g, sc.id, cfg.seed), program: program}
 	}

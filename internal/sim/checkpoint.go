@@ -1,0 +1,513 @@
+package sim
+
+// checkpoint.go is the step engine's checkpoint/restore seam: a versioned,
+// self-describing binary snapshot of everything transcript-affecting at a
+// round boundary, from which Resume continues the run bit-identically — the
+// transcript of a checkpointed-and-resumed run stitches onto the original's
+// prefix to exactly the bytes of an uninterrupted run (difftest-enforced).
+//
+// A checkpoint is captured at the top of a round iteration, coordinator-side
+// with every worker parked at the phase gate, and records: the round and
+// cumulative Metrics, the slot the next step phase will observe, per-node
+// scheduler flags and results, per-node machine state (through the optional
+// Snapshotter interface, with a gob fallback for machines with exported
+// fields), per-node RNG positions (draw counts — see rng.go), undelivered
+// inboxes, and the engine's in-flight delay/dup buffer. All of it is stored
+// in canonical, shard-independent form — awake sets as per-node flags,
+// pending messages sorted by (due, to, from, edge, payload) — so the same
+// run checkpointed at the same round produces byte-identical checkpoints at
+// any worker count, which is what cmd/mmreplay's bisector compares.
+//
+// What cannot checkpoint: the goroutine engine and the goroutine-program
+// adapter (blocked goroutine stacks are not serializable — both return
+// ErrNotCheckpointable), and native machines that neither implement
+// Snapshotter nor gob-encode. Resume always runs the step engine.
+//
+// # Wire format (version 1)
+//
+//	"MMCP" | version byte | uvarint bodyLen | gob(Checkpoint) | crc32-IEEE(body), 4 bytes LE
+//
+// The gob body is self-describing; payload, result, and machine-state
+// values carried in `any` fields must be gob-registered by their protocol
+// packages (init-time gob.Register calls).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"slices"
+	"sort"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// CheckpointVersion is the checkpoint wire format version this package
+// writes.
+const CheckpointVersion = 1
+
+const checkpointMagic = "MMCP"
+
+// ErrNotCheckpointable is returned when checkpointing is requested of an
+// execution mode that cannot snapshot its nodes: the goroutine engine and
+// the goroutine-program adapter (their node state lives in goroutine
+// stacks). Run native step programs on the step engine to checkpoint.
+var ErrNotCheckpointable = errors.New("sim: goroutine programs cannot be checkpointed; use a native step program on the step engine")
+
+// Snapshotter is the optional interface a Machine implements to make its
+// runs checkpointable. SnapshotState returns an independent copy of the
+// machine's round-to-round state (the machine keeps mutating after the
+// capture, so shared slices or maps must be cloned); the returned value's
+// concrete type must be gob-registered. RestoreState receives a value
+// SnapshotState produced and overwrites the machine's state with it, after
+// which stepping must continue exactly as the snapshotted machine would
+// have. Machines without Snapshotter fall back to gob-encoding the machine
+// value itself, which works only for machines whose state is exported.
+type Snapshotter interface {
+	SnapshotState() any
+	RestoreState(state any)
+}
+
+// CheckpointSpec configures checkpoint capture for a run.
+type CheckpointSpec struct {
+	// Every captures a checkpoint each time this many rounds complete
+	// (0 disables periodic capture).
+	Every int
+	// At captures at these specific completed-round counts.
+	At []int
+	// Sink receives each captured checkpoint; a sink error aborts the run.
+	// The checkpoint is freshly built and owned by the sink.
+	Sink func(*Checkpoint) error
+}
+
+// WithCheckpoints captures checkpoints during this run per the spec. Only
+// the step engine running native step programs supports capture; other
+// modes fail with ErrNotCheckpointable. Capture happens at round
+// boundaries, coordinator-side, and never alters the run's transcript.
+func WithCheckpoints(spec *CheckpointSpec) Option {
+	return func(c *config) { c.ckpt = spec }
+}
+
+// ckptState is the engine's compiled capture schedule.
+type ckptState struct {
+	spec  *CheckpointSpec
+	every int
+	at    []int // sorted ascending
+}
+
+func newCkptState(spec *CheckpointSpec) *ckptState {
+	ck := &ckptState{spec: spec, every: spec.Every}
+	if len(spec.At) > 0 {
+		ck.at = slices.Clone(spec.At)
+		slices.Sort(ck.at)
+	}
+	return ck
+}
+
+// due reports whether a checkpoint is scheduled at the given completed-round
+// count.
+//
+//mmlint:noalloc
+func (ck *ckptState) due(round int) bool {
+	if ck.every > 0 && round%ck.every == 0 {
+		return true
+	}
+	if len(ck.at) > 0 {
+		if _, found := slices.BinarySearch(ck.at, round); found {
+			return true
+		}
+	}
+	return false
+}
+
+// nextAfter returns the earliest scheduled capture round strictly after r —
+// the fast-forward clamp that makes the engine land on capture rounds
+// instead of skipping them.
+//
+//mmlint:noalloc
+func (ck *ckptState) nextAfter(r int) (int, bool) {
+	next, ok := 0, false
+	if ck.every > 0 {
+		if r < 0 {
+			r = 0
+		}
+		next, ok = (r/ck.every+1)*ck.every, true
+	}
+	if len(ck.at) > 0 {
+		if i := sort.SearchInts(ck.at, r+1); i < len(ck.at) && (!ok || ck.at[i] < next) {
+			next, ok = ck.at[i], true
+		}
+	}
+	return next, ok
+}
+
+// SlotCheckpoint is the slot the next step phase will observe.
+type SlotCheckpoint struct {
+	State   SlotState
+	From    graph.NodeID
+	Payload Payload
+}
+
+// NodeCheckpoint is one node's scheduler and protocol state.
+type NodeCheckpoint struct {
+	Halted    bool
+	Scheduled bool
+	Asleep    bool
+	PulseWake bool
+
+	HasRNG   bool
+	RNGDraws uint64 // generator position: source draws consumed so far
+
+	Result any // recorded result (halted nodes); nil otherwise
+
+	HasState bool
+	State    any    // Snapshotter state, when the machine implements it
+	GobState []byte // gob fallback: the machine value itself
+}
+
+// InboxCheckpoint is one node's undelivered inbox (sorted by sender, edge).
+type InboxCheckpoint struct {
+	Node graph.NodeID
+	Msgs []Message
+}
+
+// PendingCheckpoint is one in-flight delayed or duplicated message.
+type PendingCheckpoint struct {
+	Due     int // delivery round
+	To      graph.NodeID
+	From    graph.NodeID
+	EdgeID  int
+	Payload Payload
+}
+
+// Checkpoint is a step-engine run frozen at a round boundary. Its exported
+// fields are the complete transcript-affecting state; WriteTo/ReadCheckpoint
+// move it through the versioned binary encoding.
+type Checkpoint struct {
+	Round     int // completed rounds at capture
+	N         int
+	Graph     uint64 // adjacency fingerprint (topologyDigest); 0 in hand-built checkpoints
+	Seed      int64
+	Plan      string // fault plan DSL ("" = fault-free)
+	MaxRounds int
+
+	Alive   int
+	Met     Metrics
+	Slot    SlotCheckpoint
+	Nodes   []NodeCheckpoint
+	Inboxes []InboxCheckpoint
+	Pending []PendingCheckpoint
+}
+
+// WriteTo streams the checkpoint in the versioned binary encoding.
+func (cp *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(cp); err != nil {
+		return 0, fmt.Errorf("sim: encode checkpoint: %w", err)
+	}
+	var hdr []byte
+	hdr = append(hdr, checkpointMagic...)
+	hdr = append(hdr, CheckpointVersion)
+	hdr = binary.AppendUvarint(hdr, uint64(body.Len()))
+	total := int64(0)
+	for _, chunk := range [][]byte{hdr, body.Bytes(), crcOf(body.Bytes())} {
+		n, err := w.Write(chunk)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func crcOf(b []byte) []byte {
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b))
+	return crc[:]
+}
+
+// Encode renders the checkpoint to its binary form in memory.
+func (cp *Checkpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := cp.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadCheckpoint decodes one checkpoint, validating magic, version, and crc.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var prelude [5]byte
+	if _, err := io.ReadFull(r, prelude[:]); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint prelude: %w", err)
+	}
+	if string(prelude[:4]) != checkpointMagic {
+		return nil, fmt.Errorf("sim: not a checkpoint (magic %q)", prelude[:4])
+	}
+	if prelude[4] != CheckpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint version %d (reader supports %d)", prelude[4], CheckpointVersion)
+	}
+	size, err := binary.ReadUvarint(byteReaderOf(r))
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint length: %w", err)
+	}
+	if size > 1<<34 {
+		return nil, fmt.Errorf("sim: checkpoint length %d implausible", size)
+	}
+	body := make([]byte, size+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint body: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(body[size:])
+	body = body[:size]
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("sim: checkpoint crc mismatch: %08x != %08x", got, want)
+	}
+	cp := &Checkpoint{}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(cp); err != nil {
+		return nil, fmt.Errorf("sim: decode checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+// topologyDigest fingerprints the adjacency structure a checkpoint's state
+// refers to: node and edge counts plus every node's link order (neighbor and
+// edge id). Edge identities and link indices appear throughout the captured
+// state — inboxes, pending messages, machine snapshots — so resuming on a
+// graph with a different digest (same node count, different wiring or link
+// order, e.g. the same generator under another seed) would silently corrupt
+// the run instead of continuing it.
+func topologyDigest(g graph.Topology) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) { h = (h ^ v) * prime }
+	n := g.N()
+	mix(uint64(n))
+	mix(uint64(g.M()))
+	var buf []graph.Half
+	for v := 0; v < n; v++ {
+		buf = g.AdjAppend(graph.NodeID(v), buf[:0])
+		mix(uint64(len(buf)))
+		for _, half := range buf {
+			mix(uint64(half.To))
+			mix(uint64(half.EdgeID))
+		}
+	}
+	return h
+}
+
+// graphDigest caches topologyDigest for the engine's fixed topology.
+func (e *stepEngine) graphDigest() uint64 {
+	if e.topoDigest == 0 {
+		e.topoDigest = topologyDigest(e.topo)
+	}
+	return e.topoDigest
+}
+
+// writeCheckpoint captures the engine's state at the top of the given
+// iteration (round completed rounds) and hands it to the spec's sink. Runs
+// coordinator-side between rounds: workers are parked, so reading shard and
+// node state races nothing.
+func (e *stepEngine) writeCheckpoint(round int) error {
+	n := e.topo.N()
+	cp := &Checkpoint{
+		Round:     round,
+		N:         n,
+		Graph:     e.graphDigest(),
+		Seed:      e.cfg.seed,
+		Plan:      e.cfg.planString(),
+		MaxRounds: e.cfg.maxRounds,
+		Alive:     e.alive,
+		Met:       e.met,
+		Slot:      SlotCheckpoint{State: e.slot.State, From: e.slot.From, Payload: e.slot.Payload},
+		Nodes:     make([]NodeCheckpoint, n),
+	}
+	if cp.Slot.State == 0 {
+		// Round 0 has not resolved a slot yet; normalize to idle, which is
+		// what the zero Slot means to machines.
+		cp.Slot.State = SlotIdle
+	}
+	for v := range e.nodes {
+		sc := &e.nodes[v]
+		ns := &cp.Nodes[v]
+		ns.Halted = sc.halted
+		ns.Scheduled = sc.scheduled
+		ns.Asleep = sc.asleep
+		ns.PulseWake = sc.pulseWake
+		if sc.rngCS != nil {
+			ns.HasRNG = true
+			ns.RNGDraws = sc.rngCS.draws
+		}
+		ns.Result = sc.result
+		if sc.halted {
+			continue // dead machines are never stepped again; no state needed
+		}
+		if snap, ok := sc.machine.(Snapshotter); ok {
+			ns.HasState = true
+			ns.State = snap.SnapshotState()
+			continue
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(sc.machine); err != nil {
+			return fmt.Errorf("machine %T of node %d: not a sim.Snapshotter and the gob fallback failed: %w", sc.machine, v, err)
+		}
+		ns.GobState = buf.Bytes()
+	}
+	for v := range e.nodes {
+		if e.nodes[v].halted || len(e.inbox[v]) == 0 {
+			continue
+		}
+		cp.Inboxes = append(cp.Inboxes, InboxCheckpoint{
+			Node: graph.NodeID(v),
+			Msgs: slices.Clone(e.inbox[v]),
+		})
+	}
+	for i := range e.shards {
+		sd := &e.shards[i]
+		//mmlint:commutative gathered into one slice and canonically sorted below
+		for due, lst := range sd.pending {
+			for _, m := range lst {
+				cp.Pending = append(cp.Pending, PendingCheckpoint{
+					Due: due, To: m.to, From: m.from, EdgeID: int(m.edgeID), Payload: m.payload,
+				})
+			}
+		}
+	}
+	// Canonical order: independent of shard partition (worker count) and map
+	// iteration, so equal runs yield byte-equal checkpoints.
+	slices.SortFunc(cp.Pending, func(a, b PendingCheckpoint) int {
+		if c := a.Due - b.Due; c != 0 {
+			return c
+		}
+		if c := int(a.To - b.To); c != 0 {
+			return c
+		}
+		if c := int(a.From - b.From); c != 0 {
+			return c
+		}
+		if c := a.EdgeID - b.EdgeID; c != 0 {
+			return c
+		}
+		return strings.Compare(fmt.Sprintf("%#v", a.Payload), fmt.Sprintf("%#v", b.Payload))
+	})
+	return e.ck.spec.Sink(cp)
+}
+
+// restore loads a checkpoint into a freshly initialized engine: flags,
+// results, RNG positions, machine state, inboxes, and the pending buffer,
+// with awake lists and pulse-sleeper sets rebuilt from the per-node flags.
+// Machine construction (the init hook) has already run, so Snapshotter
+// restores overwrite freshly built machines.
+func (e *stepEngine) restore(cp *Checkpoint) error {
+	n := e.topo.N()
+	if cp.N != n {
+		return fmt.Errorf("sim: checkpoint is for %d nodes, graph has %d", cp.N, n)
+	}
+	if len(cp.Nodes) != n {
+		return fmt.Errorf("sim: checkpoint has %d node records, want %d", len(cp.Nodes), n)
+	}
+	if cp.Graph != 0 && cp.Graph != e.graphDigest() {
+		return fmt.Errorf("sim: checkpoint graph digest %016x does not match this topology's %016x — resume needs the exact graph (same generator, flags, and seed) the checkpoint was captured from", cp.Graph, e.graphDigest())
+	}
+	e.met = cp.Met
+	e.alive = cp.Alive
+	e.slot = Slot{State: cp.Slot.State, From: cp.Slot.From, Payload: cp.Slot.Payload}
+	for i := range e.shards {
+		e.shards[i].awake = e.shards[i].awake[:0]
+	}
+	for v := range cp.Nodes {
+		sc := &e.nodes[v]
+		ns := &cp.Nodes[v]
+		sc.halted = ns.Halted
+		sc.scheduled = ns.Scheduled
+		sc.asleep = ns.Asleep
+		sc.pulseWake = ns.PulseWake
+		sc.result = ns.Result
+		if ns.HasRNG {
+			sc.rng, sc.rngCS = newNodeRand(sc.rngSeed, ns.RNGDraws)
+		}
+		if !ns.Halted {
+			switch {
+			case ns.HasState:
+				snap, ok := sc.machine.(Snapshotter)
+				if !ok {
+					return fmt.Errorf("sim: checkpoint has Snapshotter state for node %d but machine %T does not implement it", v, sc.machine)
+				}
+				snap.RestoreState(ns.State)
+			case len(ns.GobState) > 0:
+				if err := gob.NewDecoder(bytes.NewReader(ns.GobState)).Decode(sc.machine); err != nil {
+					return fmt.Errorf("sim: restore machine %T of node %d: %w", sc.machine, v, err)
+				}
+			}
+		}
+		sd := &e.shards[v/e.shardSize]
+		if ns.Scheduled && !ns.Halted {
+			sd.awake = append(sd.awake, int32(v))
+		}
+		if ns.PulseWake && !ns.Halted {
+			sd.pulseSleepers = append(sd.pulseSleepers, int32(v))
+		}
+	}
+	for i := range cp.Inboxes {
+		ib := &cp.Inboxes[i]
+		if int(ib.Node) < 0 || int(ib.Node) >= n {
+			return fmt.Errorf("sim: checkpoint inbox for node %d out of range", ib.Node)
+		}
+		e.inbox[ib.Node] = slices.Clone(ib.Msgs)
+	}
+	for i := range cp.Pending {
+		p := &cp.Pending[i]
+		if int(p.To) < 0 || int(p.To) >= n {
+			return fmt.Errorf("sim: checkpoint pending message to node %d out of range", p.To)
+		}
+		sd := &e.shards[int(p.To)/e.shardSize]
+		if sd.pending == nil {
+			sd.pending = make(map[int][]delivered)
+		}
+		sd.pending[p.Due] = append(sd.pending[p.Due], delivered{
+			to: p.To, from: p.From, edgeID: int32(p.EdgeID), payload: p.Payload,
+		})
+		sd.pendingN++
+	}
+	return nil
+}
+
+// Resume continues a checkpointed run on the step engine: g and program
+// must be the ones the checkpoint was captured from (the graph is validated
+// by node count and adjacency digest — the topology itself is not
+// serialized, so the caller must rebuild it with the same generator, flags,
+// and seed). The seed,
+// fault plan, and round budget are taken from the checkpoint; remaining
+// options (workers, recorder, transcript, further checkpoints) apply as
+// usual. The resumed run's transcript picks up at the round after the
+// checkpoint and, stitched onto the original's prefix, is byte-identical to
+// an uninterrupted run's.
+func Resume(g graph.Topology, program StepProgram, cp *Checkpoint, opts ...Option) (*Result, error) {
+	cfg := config{seed: cp.Seed}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.seed = cp.Seed
+	cfg.maxRounds = cp.MaxRounds
+	cfg.faultsSet = true
+	cfg.faults = nil
+	if cp.Plan != "" {
+		p, err := fault.Parse(cp.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("sim: checkpoint fault plan: %w", err)
+		}
+		cfg.faults = p
+	}
+	cfg.resume = cp
+	return runStepEngine(g, program, cfg, true)
+}
+
+func init() {
+	// The engine's own payloads that can appear in checkpoint `any` fields.
+	gob.Register(BusyTone{})
+}

@@ -1,0 +1,86 @@
+package sim
+
+// rng.go holds the per-node RNG machinery shared by both engines: the seed
+// derivation that turns (master seed, node id) into a private stream, and a
+// draw-counting rand.Source64 wrapper that makes RNG positions
+// checkpointable.
+//
+// # Derivation
+//
+// Historically both engines derived per-node seeds as seed*1_000_003 + id —
+// a linear map that collides across runs as soon as n exceeds 1,000,003:
+// the run with master seed s shares node RNG streams with the run seeded
+// s+1, shifted by 1,000,003 node ids, exactly the n > 10⁶ regime the
+// implicit topologies opened. nodeSeed now mixes the pair through the
+// keyed splitmix64 finalizer (fault.Mix64, the same primitive behind the
+// injector's coins and the implicit topologies' weights), so distinct
+// (seed, id) pairs give independent streams at any network size.
+//
+// # Positions
+//
+// math/rand exposes no way to read or restore a generator's position, so
+// Ctx.Rand and StepCtx.Rand wrap their source in a countedSource that
+// counts draws. Every generator method advances the underlying rngSource
+// by exactly one Uint64 per source call, so a checkpoint records the count
+// and a resume re-derives the seed and discards that many draws —
+// bit-identical continuation without serializing generator internals.
+
+import (
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// rngSalt keys the per-node seed derivation so node RNG streams are
+// independent of the injector's coins and the topology weights, which mix
+// the same words through the same finalizer.
+const rngSalt = 0x6e0de5eed
+
+// nodeSeed derives node id's private RNG seed from the master seed — the
+// single derivation both engines share (the determinism contract requires
+// them identical).
+func nodeSeed(seed int64, id graph.NodeID) int64 {
+	return int64(fault.Mix64(uint64(seed), uint64(id), rngSalt))
+}
+
+// countedSource wraps the node's rand source, counting draws so the
+// generator's position can be checkpointed and restored. Both Int63 and
+// Uint64 advance math/rand's rngSource by exactly one internal step, so
+// the count alone pins the position.
+type countedSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountedSource(seed int64) *countedSource {
+	//mmlint:nondet seeded constructor: rand.NewSource with a derived seed is the deterministic per-node stream
+	return &countedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countedSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countedSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countedSource) Seed(seed int64) {
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// newNodeRand builds a node's private generator at a given position:
+// freshly derived for live runs (draws 0), fast-forwarded for resumes.
+func newNodeRand(seed int64, draws uint64) (*rand.Rand, *countedSource) {
+	cs := newCountedSource(seed)
+	r := rand.New(cs)
+	for i := uint64(0); i < draws; i++ {
+		cs.src.Uint64()
+	}
+	cs.draws = draws
+	return r, cs
+}

@@ -208,6 +208,9 @@ type config struct {
 	faults    *fault.Plan
 	faultsSet bool
 	rec       Recorder
+	tw        *TranscriptWriter
+	ckpt      *CheckpointSpec
+	resume    *Checkpoint
 }
 
 // plan resolves the run's fault plan: the WithFaults option when given,
@@ -286,8 +289,9 @@ type outMsg struct {
 type Ctx struct {
 	id      graph.NodeID
 	topo    graph.Topology
-	adj     []graph.Half // this node's links, cached at construction
-	rng     *rand.Rand   // created lazily from rngSeed on first use
+	adj     []graph.Half   // this node's links, cached at construction
+	rng     *rand.Rand     // created lazily from rngSeed on first use
+	rngCS   *countedSource // rng's draw-counting source (checkpoint position)
 	rngSeed int64
 
 	round     int
@@ -325,10 +329,11 @@ func (c *Ctx) Degree() int { return len(c.adj) }
 func (c *Ctx) Round() int { return c.round }
 
 // Rand returns this node's private deterministic RNG, created lazily so
-// runs that never draw randomness pay nothing for it.
+// runs that never draw randomness pay nothing for it. The source counts
+// its draws, so the generator's position is checkpointable.
 func (c *Ctx) Rand() *rand.Rand {
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(c.rngSeed))
+		c.rng, c.rngCS = newNodeRand(c.rngSeed, 0)
 	}
 	return c.rng
 }
@@ -417,7 +422,7 @@ func newCtx(t graph.Topology, id graph.NodeID, seed int64) *Ctx {
 		id:         id,
 		topo:       t,
 		adj:        adj,
-		rngSeed:    seed*1_000_003 + int64(id),
+		rngSeed:    nodeSeed(seed, id),
 		sentLink:   make(map[int]bool),
 		linkByEdge: make(map[int]int, len(adj)),
 		linkByPeer: make(map[graph.NodeID]int, len(adj)),
@@ -467,6 +472,11 @@ type pendingMsg struct {
 // runGoroutine is the historical engine: one goroutine per node, resumed
 // round by round from a single scheduler loop.
 func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error) {
+	if cfg.ckpt != nil || cfg.resume != nil {
+		// Goroutine stacks cannot be serialized; checkpointing is a step
+		// engine capability (Resume always runs the step engine).
+		return nil, ErrNotCheckpointable
+	}
 	inj, err := fault.Compile(cfg.plan(), g)
 	if err != nil {
 		return nil, err
@@ -475,6 +485,10 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 	rec := cfg.recorder()
 	if rec != nil {
 		rec.RunStart(n, EngineGoroutine, 1, 1)
+	}
+	tw := cfg.transcript()
+	if tw != nil {
+		tw.begin(n, cfg.seed, cfg.planString(), "")
 	}
 	ctxs := make([]*Ctx, n)
 	for v := 0; v < n; v++ {
@@ -687,6 +701,9 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 				inboxes[v] = nil
 			}
 		}
+		if tw != nil {
+			tw.goroutineRound(round+1, slot, aliveCount, met, inboxes)
+		}
 		if rec != nil {
 			rec.EndPhase(PhaseDeliver, 0, round, tDeliver)
 			rec.RoundEnd(round+1, aliveCount, slot.State, met)
@@ -710,10 +727,44 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 	errMu.Lock()
 	err = firstErr
 	errMu.Unlock()
+	if tw != nil {
+		tw.finalFrame(met, res.Results, err)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// goroutineRound emits one goroutine-engine round frame: the round's slot,
+// live-node count, cumulative metrics, and a digest of every nonempty inbox
+// about to be handed to the nodes.
+func (tw *TranscriptWriter) goroutineRound(round int, slot Slot, alive int, met *Metrics, inboxes [][]Message) {
+	f := RoundFrame{Round: round, Slot: slot.State, Alive: alive, Met: *met}
+	if slot.State == SlotSuccess {
+		f.From = slot.From
+		f.SlotDigest = payloadDigest(slot.Payload)
+	}
+	f.Nodes = tw.nodes[:0]
+	for v := range inboxes {
+		if len(inboxes[v]) == 0 {
+			continue
+		}
+		var d uint64
+		d, tw.scratch = inboxDigest(inboxes[v], tw.scratch)
+		f.Nodes = append(f.Nodes, NodeDigest{Node: graph.NodeID(v), Digest: d})
+	}
+	tw.nodes = f.Nodes
+	tw.WriteRound(&f)
+}
+
+// finalFrame closes an engine's transcript with the run's outcome.
+func (tw *TranscriptWriter) finalFrame(met *Metrics, results []any, runErr error) {
+	f := FinalFrame{Met: *met, ResultsDigest: resultsDigest(results), N: len(results)}
+	if runErr != nil {
+		f.Err = runErr.Error()
+	}
+	tw.WriteFinal(&f)
 }
 
 // defaultMaxRounds budgets generously above any algorithm in this module:

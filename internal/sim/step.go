@@ -153,6 +153,7 @@ type StepCtx struct {
 	id      graph.NodeID
 	eng     *stepEngine
 	rng     *rand.Rand
+	rngCS   *countedSource // rng's draw-counting source (checkpoint position)
 	rngSeed int64
 
 	round     int
@@ -202,10 +203,11 @@ func (c *StepCtx) Degree() int {
 func (c *StepCtx) Round() int { return c.round }
 
 // Rand returns this node's private deterministic RNG, derived from the
-// master seed exactly as in the goroutine engine and created lazily.
+// master seed exactly as in the goroutine engine and created lazily. The
+// source counts its draws, so the generator's position is checkpointable.
 func (c *StepCtx) Rand() *rand.Rand {
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(c.rngSeed))
+		c.rng, c.rngCS = newNodeRand(c.rngSeed, 0)
 	}
 	return c.rng
 }
@@ -412,9 +414,13 @@ type stepEngine struct {
 	topo  graph.Topology
 	mat   *graph.Graph // topo's stored form, or nil — gates the O(m) fast-path indexes
 	cfg   config
-	inj   *fault.Injector // nil for fault-free runs
-	rec   Recorder        // nil = observability off (the zero-cost path)
-	reuse bool            // reuse inbox buffers (native runs; the adapter reallocates)
+	inj   *fault.Injector   // nil for fault-free runs
+	rec   Recorder          // nil = observability off (the zero-cost path)
+	tw    *TranscriptWriter // nil = transcripts off; emission is coordinator-only
+	ck    *ckptState        // nil = checkpoints off
+	reuse bool              // reuse inbox buffers (native runs; the adapter reallocates)
+
+	topoDigest uint64 // lazy topologyDigest cache (0 = not yet computed)
 
 	nodes []StepCtx
 	inbox [][]Message
@@ -460,7 +466,26 @@ func RunStep(g graph.Topology, program StepProgram, opts ...Option) (*Result, er
 	return runStepEngine(g, program, cfg, true)
 }
 
-func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInboxes bool) (res *Result, err error) {
+// runStepEngine builds the engine, applies a resume checkpoint when one is
+// configured, and runs the round loop from the appropriate round.
+func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInboxes bool) (*Result, error) {
+	e, err := newStepEngine(g, program, cfg, reuseInboxes)
+	if err != nil {
+		return nil, err
+	}
+	start := 0
+	if cp := cfg.resume; cp != nil {
+		if err := e.restore(cp); err != nil {
+			return nil, err
+		}
+		start = cp.Round
+	}
+	return e.run(start)
+}
+
+// newStepEngine compiles the fault plan, sizes the shards, and runs the
+// init hook — everything up to (but not including) round 0.
+func newStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInboxes bool) (*stepEngine, error) {
 	inj, err := fault.Compile(cfg.plan(), g)
 	if err != nil {
 		return nil, err
@@ -488,12 +513,16 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		cfg:     cfg,
 		inj:     inj,
 		rec:     cfg.recorder(),
+		tw:      cfg.transcript(),
 		reuse:   reuseInboxes,
 		nodes:   make([]StepCtx, n),
 		inbox:   make([][]Message, n),
 		sentOff: make([]int, n),
 		workers: workers,
 		alive:   n,
+	}
+	if cfg.ckpt != nil {
+		e.ck = newCkptState(cfg.ckpt)
 	}
 	off := 0
 	for v := 0; v < n; v++ {
@@ -537,7 +566,7 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		sc := &e.nodes[v]
 		sc.id = graph.NodeID(v)
 		sc.eng = e
-		sc.rngSeed = cfg.seed*1_000_003 + int64(v)
+		sc.rngSeed = nodeSeed(cfg.seed, graph.NodeID(v))
 		sc.scheduled = true
 		if err := func() (err error) {
 			defer func() {
@@ -554,20 +583,39 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 			return nil, fmt.Errorf("sim: step program returned a nil machine for node %d", sc.id)
 		}
 	}
+	return e, nil
+}
 
+// run executes the round loop from the given round (0 for a fresh run, the
+// checkpoint's round on a resume) until every machine halts or the run
+// fails.
+func (e *stepEngine) run(start int) (res *Result, err error) {
+	n := e.topo.N()
 	if rec := e.rec; rec != nil {
-		rec.RunStart(n, EngineStep, workers, shardCount)
+		rec.RunStart(n, EngineStep, e.workers, len(e.shards))
 	}
-	if workers > 1 {
+	if tw := e.tw; tw != nil {
+		tw.begin(n, e.cfg.seed, e.cfg.planString(), "")
+	}
+	if e.workers > 1 {
 		e.startWorkers()
 		defer e.stopWorkers()
 	}
 	defer e.abortMachines() // no-op unless the run ends with live adapters
 
-	stepped := make([]int, 0, shardCount)
-	awakeTotal := n
-	for round := 0; ; round++ {
+	stepped := make([]int, 0, len(e.shards))
+	awakeTotal := 0
+	for i := range e.shards {
+		awakeTotal += len(e.shards[i].awake)
+	}
+	for round := start; ; round++ {
 		e.round = round
+		if e.ck != nil && round > start && e.ck.due(round) {
+			if err := e.writeCheckpoint(round); err != nil {
+				e.recordErr(-1, fmt.Errorf("sim: checkpoint at round %d: %w", round, err))
+				break
+			}
+		}
 		stepped = stepped[:0]
 		for i := range e.shards {
 			if len(e.shards[i].awake) > 0 {
@@ -659,6 +707,9 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		for i := range e.shards {
 			awakeTotal += len(e.shards[i].awake)
 		}
+		if e.tw != nil && e.continuing {
+			e.emitRound(round)
+		}
 		if rec := e.rec; rec != nil {
 			rec.RoundEnd(round+1, awakeTotal, slot.State, &e.met)
 		}
@@ -673,8 +724,15 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 			// stretches — including a genuine wedge spinning to ErrMaxRounds
 			// — cost O(1) instead of O(shards) per round while keeping
 			// transcripts and Metrics bit-identical with the per-round path
-			// (and with the goroutine form of the protocol).
-			round = e.fastForward(round)
+			// (and with the goroutine form of the protocol). With a
+			// transcript installed the traced variant synthesizes the skipped
+			// rounds' frames instead, so the stream stays byte-identical to a
+			// per-round engine's.
+			if e.tw != nil {
+				round = e.fastForwardTraced(round)
+			} else {
+				round = e.fastForward(round)
+			}
 		}
 	}
 
@@ -682,14 +740,51 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 	if rec := e.rec; rec != nil {
 		rec.RunEnd(&e.met)
 	}
-	if err := e.err(); err != nil {
-		return nil, err
-	}
 	res = &Result{Metrics: e.met, Results: make([]any, n)}
 	for v := range e.nodes {
 		res.Results[v] = e.nodes[v].result
 	}
+	if tw := e.tw; tw != nil {
+		tw.finalFrame(&e.met, res.Results, e.err())
+	}
+	if err := e.err(); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// emitRound streams one executed round's transcript frame: the shards'
+// touched lists name every inbox delivered this round; they are gathered,
+// sorted, digested, and cleared coordinator-side, keeping transcript I/O
+// (and its allocations) out of the //mmlint:noalloc delivery phase. With no
+// writer installed the lists are cleared inside the delivery phase itself
+// and this function is never reached.
+func (e *stepEngine) emitRound(round int) {
+	tw := e.tw
+	f := RoundFrame{Round: round + 1, Slot: e.slot.State, Alive: e.alive, Met: e.met}
+	if e.slot.State == SlotSuccess {
+		f.From = e.slot.From
+		f.SlotDigest = payloadDigest(e.slot.Payload)
+	}
+	tw.touched = tw.touched[:0]
+	for i := range e.shards {
+		sd := &e.shards[i]
+		tw.touched = append(tw.touched, sd.touched...)
+		sd.touched = sd.touched[:0]
+	}
+	slices.Sort(tw.touched)
+	f.Nodes = tw.nodes[:0]
+	for _, v := range tw.touched {
+		box := e.inbox[v]
+		if len(box) == 0 {
+			continue
+		}
+		var d uint64
+		d, tw.scratch = inboxDigest(box, tw.scratch)
+		f.Nodes = append(f.Nodes, NodeDigest{Node: graph.NodeID(v), Digest: d})
+	}
+	tw.nodes = f.Nodes
+	tw.WriteRound(&f)
 }
 
 // fastForward is the quiescent-round fast-forward, called at the bottom of
@@ -708,6 +803,27 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 //
 //mmlint:noalloc
 func (e *stepEngine) fastForward(r int) int {
+	R := e.ffTarget(r)
+	if R <= r+1 {
+		return r
+	}
+	// Iterations r+1 .. R-1 resolve slots r+2 .. R, all writer-free.
+	skipped := int64(R - r - 1)
+	jammed := e.inj.CountJammed(r+2, R)
+	e.met.SlotsJammed += jammed
+	e.met.SlotsIdle += skipped - jammed
+	if rec := e.rec; rec != nil {
+		rec.FastForward(r+2, R)
+	}
+	return R - 1
+}
+
+// ffTarget computes the fast-forward target: the earliest iteration after r
+// that can change any state — and must therefore execute per-round — with
+// everything before it writer-free. Shared by the plain and traced forms.
+//
+//mmlint:noalloc
+func (e *stepEngine) ffTarget(r int) int {
 	// The budget fails at iteration maxRounds (round+1 > maxRounds there).
 	R := e.cfg.maxRounds
 	// Delayed/duplicated messages due at round p are deposited by
@@ -737,14 +853,39 @@ func (e *stepEngine) fastForward(r int) int {
 			R = s - 1
 		}
 	}
+	// A pending checkpoint round must land on an executed iteration top, so
+	// the skip may not jump past it — checkpointing mid-fast-forward means
+	// clamping the forward jump to the capture point.
+	if e.ck != nil {
+		if q, ok := e.ck.nextAfter(r); ok && q < R {
+			R = q
+		}
+	}
+	return R
+}
+
+// fastForwardTraced is fastForward with a transcript installed: the skipped
+// rounds' frames are synthesized one by one — slot resolution per skipped
+// round, incremental metrics — so the emitted stream is byte-identical to
+// an engine that executed every round. The per-round cost this reintroduces
+// is the price of observation, paid only when a transcript is on.
+func (e *stepEngine) fastForwardTraced(r int) int {
+	R := e.ffTarget(r)
 	if R <= r+1 {
 		return r
 	}
-	// Iterations r+1 .. R-1 resolve slots r+2 .. R, all writer-free.
-	skipped := int64(R - r - 1)
-	jammed := e.inj.CountJammed(r+2, R)
-	e.met.SlotsJammed += jammed
-	e.met.SlotsIdle += skipped - jammed
+	for s := r + 2; s <= R; s++ {
+		state := SlotIdle
+		if e.inj.Jammed(s) {
+			e.met.SlotsJammed++
+			state = SlotCollision
+		} else {
+			e.met.SlotsIdle++
+		}
+		e.met.Rounds = s
+		f := RoundFrame{Round: s, Slot: state, Alive: e.alive, Met: e.met}
+		e.tw.WriteRound(&f)
+	}
 	if rec := e.rec; rec != nil {
 		rec.FastForward(r+2, R)
 	}
@@ -1156,7 +1297,12 @@ func (e *stepEngine) deliverReuse(sd *stepShard, d int, deliverRound int) {
 			sortInbox(box)
 		}
 	}
-	sd.touched = sd.touched[:0]
+	if e.tw == nil {
+		// With a transcript on, the coordinator digests and clears the
+		// touched lists after the phase (emitRound); the hot path never
+		// does transcript work.
+		sd.touched = sd.touched[:0]
+	}
 }
 
 // deliverArena is the delivery phase for adapter runs, whose inboxes cannot
@@ -1258,7 +1404,10 @@ func (e *stepEngine) deliverArena(sd *stepShard, d int, deliverRound int) {
 			sd.awake = append(sd.awake, v)
 		}
 	}
-	sd.touched = sd.touched[:0]
+	if e.tw == nil {
+		// See deliverReuse: with a transcript on, emitRound owns the reset.
+		sd.touched = sd.touched[:0]
+	}
 }
 
 // sortInbox orders one inbox by (sender, edge id) — the delivery order both

@@ -8,6 +8,7 @@ package size
 // the goroutine form in Estimate.
 
 import (
+	"encoding/gob"
 	"fmt"
 
 	"repro/internal/globalfunc"
@@ -63,12 +64,38 @@ func (m *glMachine) Step(in sim.Input) bool {
 
 func (m *glMachine) Result() any { return m.est }
 
+// glState is the checkpointable image of glMachine, exported for gob.
+type glState struct {
+	I   int
+	Est int64
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (m *glMachine) SnapshotState() any { return glState{I: m.i, Est: m.est} }
+
+// RestoreState implements sim.Snapshotter.
+func (m *glMachine) RestoreState(state any) {
+	s := state.(glState)
+	m.i, m.est = s.I, s.Est
+}
+
+// GLStepProgram returns the native Greenberg–Ladner estimator program, for
+// callers that drive sim.RunStep or sim.Resume directly (EstimateStep wraps
+// it with result validation).
+func GLStepProgram() sim.StepProgram {
+	return func(c *sim.StepCtx) sim.Machine { return &glMachine{c: c} }
+}
+
+func init() {
+	gob.Register(glState{})
+}
+
 // EstimateStep runs the §7.4 Greenberg–Ladner protocol on the native step
-// engine; same contract and transcript as Estimate.
-func EstimateStep(g graph.Topology, seed int64) (*EstimateResult, error) {
-	res, err := sim.RunStep(g, func(c *sim.StepCtx) sim.Machine {
-		return &glMachine{c: c}
-	}, sim.WithSeed(seed))
+// engine; same contract and transcript as Estimate. Extra options (workers,
+// transcript, checkpoints) pass through to the engine.
+func EstimateStep(g graph.Topology, seed int64, opts ...sim.Option) (*EstimateResult, error) {
+	opts = append([]sim.Option{sim.WithSeed(seed)}, opts...)
+	res, err := sim.RunStep(g, GLStepProgram(), opts...)
 	if err != nil {
 		return nil, fmt.Errorf("size: step estimate: %w", err)
 	}
