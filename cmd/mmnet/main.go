@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -110,6 +111,12 @@ func run(args []string, w io.Writer) error {
 		faultSeed = fs.Int64("fault-seed", 1, "seed for the fault plan's probabilistic rules (unless the DSL pins seed:N)")
 		maxRounds = fs.Int("max-rounds", 0, "round budget per run (0 = graph-derived default); bound wedged faulted runs")
 
+		transcriptPath = fs.String("transcript", "", "stream the run's binary transcript to this file (.gz suffix = gzip); native step protocols (census|estimate-step) only")
+		ckptPath       = fs.String("checkpoint", "", "checkpoint sink file; a %d in the name is replaced by the capture round, otherwise the latest capture wins (census|estimate-step)")
+		ckptEvery      = fs.Int("checkpoint-every", 0, "capture a checkpoint every N rounds (requires -checkpoint)")
+		ckptAt         = fs.String("checkpoint-at", "", "comma-separated rounds to checkpoint at (requires -checkpoint)")
+		resumePath     = fs.String("resume", "", "resume from this checkpoint instead of round 0 (census|estimate-step; seed, faults, and round budget come from the checkpoint)")
+
 		tracePath   = fs.String("trace", "", "write engine phase spans as Chrome trace_event JSON to this file (load in Perfetto or about:tracing)")
 		seriesPath  = fs.String("series", "", "stream per-round NDJSON time series to this file ('-' = stdout)")
 		seriesEvery = fs.Int("series-every", 1, "aggregate this many rounds per series row (column sums stay exact at any factor)")
@@ -140,6 +147,11 @@ func run(args []string, w io.Writer) error {
 	engineLabel := eng.String()
 	if *algo == "census" || *algo == "estimate-step" {
 		engineLabel = "step (native protocol)"
+	}
+
+	simOpts, closeTranscript, err := ckptTranscriptOpts(*algo, *transcriptPath, *ckptPath, *ckptEvery, *ckptAt, *resumePath)
+	if err != nil {
+		return err
 	}
 
 	// Observability: any of -trace/-series/-metrics-addr builds an Obs and
@@ -188,7 +200,15 @@ func run(args []string, w io.Writer) error {
 	}
 	defer setSimDefaults(eng, *workers, plan, *maxRounds, rec)()
 
-	rep, err := runAlgo(*algo, g, *seed, *variant, *stage)
+	var rep *report
+	if *resumePath != "" {
+		rep, err = runResume(*algo, g, *resumePath, simOpts)
+	} else {
+		rep, err = runAlgo(*algo, g, *seed, *variant, *stage, simOpts...)
+	}
+	if cerr := closeTranscript(); cerr != nil && err == nil {
+		err = fmt.Errorf("transcript: %w", cerr)
+	}
 	if err != nil {
 		return err
 	}
@@ -277,9 +297,122 @@ func ns(v int64) string {
 	}
 }
 
+// ckptTranscriptOpts validates and wires the -transcript/-checkpoint*/-resume
+// flags into sim options. These flags talk to the engine of a single run, so
+// they are limited to the native step protocols (census, estimate-step) whose
+// execution is exactly one sim.RunStep.
+func ckptTranscriptOpts(algo, transcriptPath, ckptPath string, every int, atList, resumePath string) (opts []sim.Option, closer func() error, err error) {
+	closer = func() error { return nil }
+	if transcriptPath == "" && ckptPath == "" && every == 0 && atList == "" && resumePath == "" {
+		return nil, closer, nil
+	}
+	if algo != "census" && algo != "estimate-step" {
+		return nil, nil, fmt.Errorf("-transcript/-checkpoint/-resume need a native step protocol (census|estimate-step), not %q", algo)
+	}
+	if (every > 0 || atList != "") && ckptPath == "" {
+		return nil, nil, errors.New("-checkpoint-every/-checkpoint-at need -checkpoint FILE")
+	}
+	if ckptPath != "" && every == 0 && atList == "" {
+		return nil, nil, errors.New("-checkpoint needs -checkpoint-every N and/or -checkpoint-at ROUNDS")
+	}
+	if transcriptPath != "" {
+		f, err := os.Create(transcriptPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		tw := sim.NewTranscriptWriter(f, strings.HasSuffix(transcriptPath, ".gz"))
+		opts = append(opts, sim.WithTranscript(tw))
+		closer = func() error {
+			if err := tw.Close(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	if ckptPath != "" {
+		spec := &sim.CheckpointSpec{Every: every, Sink: func(cp *sim.Checkpoint) error {
+			return writeCheckpointFile(ckptPath, cp)
+		}}
+		for _, field := range strings.Split(atList, ",") {
+			if field = strings.TrimSpace(field); field == "" {
+				continue
+			}
+			r, err := strconv.Atoi(field)
+			if err != nil || r < 1 {
+				return nil, nil, fmt.Errorf("-checkpoint-at: bad round %q", field)
+			}
+			spec.At = append(spec.At, r)
+		}
+		opts = append(opts, sim.WithCheckpoints(spec))
+	}
+	return opts, closer, nil
+}
+
+// writeCheckpointFile writes one checkpoint; a %d in the path becomes the
+// capture round.
+func writeCheckpointFile(path string, cp *sim.Checkpoint) error {
+	if strings.Contains(path, "%d") {
+		path = fmt.Sprintf(path, cp.Round)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := cp.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runResume restarts a checkpointed native protocol from its capture round;
+// the checkpoint dictates seed, fault plan, and round budget, so only the
+// graph flags and -workers need to match the original invocation.
+func runResume(algo string, g graph.Topology, path string, opts []sim.Option) (*report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := sim.ReadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var prog sim.StepProgram
+	switch algo {
+	case "census":
+		prog = globalfunc.P2PStepProgram(globalfunc.Sum, func(graph.NodeID) int64 { return 1 })
+	case "estimate-step":
+		prog = size.GLStepProgram()
+	default:
+		return nil, fmt.Errorf("-resume supports census|estimate-step, not %q", algo)
+	}
+	res, err := sim.Resume(g, prog, cp, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rep := &report{}
+	rep.set("resumed_from", cp.Round)
+	switch algo {
+	case "census":
+		n := res.Results[0].(int64)
+		rep.addf("native step census (resumed from round %d): n=%d", cp.Round, n)
+		rep.set("n", n)
+	case "estimate-step":
+		est := res.Results[0].(int64)
+		rep.addf("native step size estimate (resumed from round %d): 2^k=%d (true n=%d)", cp.Round, est, g.N())
+		rep.set("estimate", est)
+	}
+	rep.metrics = &res.Metrics
+	return rep, nil
+}
+
 // runAlgo executes one algorithm and reports its outcome — the testable
-// core of the command.
-func runAlgo(algo string, g graph.Topology, seed int64, variant, stage string) (*report, error) {
+// core of the command. simOpts carries the transcript/checkpoint options of
+// the native step protocols; every other algorithm ignores it (the flag
+// layer rejects the combination before it gets here).
+func runAlgo(algo string, g graph.Topology, seed int64, variant, stage string, simOpts ...sim.Option) (*report, error) {
 	rep := &report{}
 	switch algo {
 	case "partition-det":
@@ -397,7 +530,7 @@ func runAlgo(algo string, g graph.Topology, seed int64, variant, stage string) (
 	case "census":
 		// Native step-machine census: exact n on the point-to-point network,
 		// built for million-node graphs (always runs on the step engine).
-		res, err := size.Census(g, seed)
+		res, err := size.Census(g, seed, simOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -415,7 +548,7 @@ func runAlgo(algo string, g graph.Topology, seed int64, variant, stage string) (
 		rep.set("ratio", float64(res.Estimate)/float64(g.N()))
 		rep.metrics = &res.Metrics
 	case "estimate-step":
-		res, err := size.EstimateStep(g, seed)
+		res, err := size.EstimateStep(g, seed, simOpts...)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -121,6 +124,71 @@ func TestRunFaulted(t *testing.T) {
 	for _, want := range []string{"native step census: n=32", "faults=", "jammed-slots="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunCheckpointResume drives the -transcript/-checkpoint/-resume flags
+// end to end: the resumed run must report the same answer, and capturing
+// checkpoints must not change the transcript.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.mmtr")
+	ck := filepath.Join(dir, "ck.mmtr")
+	cp := filepath.Join(dir, "cp-%d.mmcp")
+	base := []string{"-graph", "ring", "-n", "48", "-algo", "census", "-seed", "9"}
+
+	var buf bytes.Buffer
+	if err := run(append(base, "-transcript", ref), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-transcript", ck, "-checkpoint", cp, "-checkpoint-at", "4,7"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	refB, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckB, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refB, ckB) {
+		t.Fatal("checkpoint capture changed the transcript")
+	}
+
+	buf.Reset()
+	if err := run(append(base, "-resume", filepath.Join(dir, "cp-7.mmcp")), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "resumed from round 7): n=48") {
+		t.Errorf("resume output: %q", buf.String())
+	}
+
+	// Gzip transcripts announce themselves in the suffix.
+	gz := filepath.Join(dir, "ref.mmtr.gz")
+	if err := run(append(base, "-transcript", gz), &buf); err != nil {
+		t.Fatal(err)
+	}
+	gzB, err := os.ReadFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(gzB, refB) || len(gzB) == 0 {
+		t.Error("gzip transcript not compressed")
+	}
+}
+
+// TestRunCheckpointFlagValidation pins the flag-combination errors.
+func TestRunCheckpointFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", "ring", "-n", "16", "-algo", "count", "-transcript", "x.mmtr"},
+		{"-graph", "ring", "-n", "16", "-algo", "census", "-checkpoint-every", "5"},
+		{"-graph", "ring", "-n", "16", "-algo", "census", "-checkpoint", "x.mmcp"},
+		{"-graph", "ring", "-n", "16", "-algo", "census", "-checkpoint", "x.mmcp", "-checkpoint-at", "zero"},
+	} {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
 		}
 	}
 }
