@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test test-short test-race bench bench-check bench-quick chaos fuzz golden obs-smoke scale-smoke ci
+.PHONY: build vet lint test test-short test-race bench bench-check bench-quick chaos fuzz golden obs-smoke scale-smoke resume-smoke ci
 
 ## build: compile every package (the tier-1 gate's first half)
 build:
@@ -89,6 +89,33 @@ obs-smoke:
 ## the job fits 7 GB CI runners; ~2.5 min on 1 core.
 scale-smoke:
 	GOGC=50 GOMEMLIMIT=5GiB $(GO) run ./cmd/mmnet -graph ring:10000000 -algo census -workers 1
+
+## resume-smoke: end-to-end checkpoint/restore gate (CI's resume-smoke job) —
+## a faulted 10⁵-node census through the real CLI, checkpointed right in the
+## middle of a delay+dup+jam storm (so the capture carries in-flight
+## messages), resumed, stitched with mmreplay, and required byte-identical
+## (mmreplay -diff exits 0 only on identity) to the uninterrupted run's
+## transcript. Also proves capture-is-observation: the checkpointing run's
+## transcript must equal the plain run's.
+RESUME_SMOKE_DIR := /tmp/mmnet-resume-smoke
+RESUME_SMOKE_ARGS := -graph ring:100000 -algo census -seed 9 \
+	-faults 'delay:*@69990-70005/d10;dup:*@69995-70010;jam:70000-70004'
+resume-smoke:
+	mkdir -p $(RESUME_SMOKE_DIR)
+	$(GO) build -o $(RESUME_SMOKE_DIR)/mmnet ./cmd/mmnet
+	$(GO) build -o $(RESUME_SMOKE_DIR)/mmreplay ./cmd/mmreplay
+	$(RESUME_SMOKE_DIR)/mmnet $(RESUME_SMOKE_ARGS) \
+		-transcript $(RESUME_SMOKE_DIR)/ref.mmtr
+	$(RESUME_SMOKE_DIR)/mmnet $(RESUME_SMOKE_ARGS) \
+		-checkpoint $(RESUME_SMOKE_DIR)/cp-%d.mmcp -checkpoint-at 70000 \
+		-transcript $(RESUME_SMOKE_DIR)/ck.mmtr
+	cmp $(RESUME_SMOKE_DIR)/ref.mmtr $(RESUME_SMOKE_DIR)/ck.mmtr
+	$(RESUME_SMOKE_DIR)/mmnet -graph ring:100000 -algo census -seed 9 \
+		-resume $(RESUME_SMOKE_DIR)/cp-70000.mmcp \
+		-transcript $(RESUME_SMOKE_DIR)/resumed.mmtr
+	$(RESUME_SMOKE_DIR)/mmreplay -stitch $(RESUME_SMOKE_DIR)/stitched.mmtr -at 70000 \
+		$(RESUME_SMOKE_DIR)/ref.mmtr $(RESUME_SMOKE_DIR)/resumed.mmtr
+	$(RESUME_SMOKE_DIR)/mmreplay -diff $(RESUME_SMOKE_DIR)/ref.mmtr $(RESUME_SMOKE_DIR)/stitched.mmtr
 
 ## ci: the gates .github/workflows/ci.yml runs (its race job re-runs the
 ## short suite, differential seeds, and example smokes under -race)
