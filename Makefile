@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test test-short test-race bench bench-check bench-quick chaos fuzz golden obs-smoke scale-smoke resume-smoke ci
+.PHONY: build vet lint test test-short test-race bench bench-check bench-quick chaos fuzz golden obs-smoke scale-smoke resume-smoke chaos2-smoke ci
 
 ## build: compile every package (the tier-1 gate's first half)
 build:
@@ -116,6 +116,46 @@ resume-smoke:
 	$(RESUME_SMOKE_DIR)/mmreplay -stitch $(RESUME_SMOKE_DIR)/stitched.mmtr -at 70000 \
 		$(RESUME_SMOKE_DIR)/ref.mmtr $(RESUME_SMOKE_DIR)/resumed.mmtr
 	$(RESUME_SMOKE_DIR)/mmreplay -diff $(RESUME_SMOKE_DIR)/ref.mmtr $(RESUME_SMOKE_DIR)/stitched.mmtr
+
+## chaos2-smoke: end-to-end chaos-v2 gate (CI's chaos2-smoke job), two legs.
+## Leg 1: a 10⁵-node census through the real CLI under a scheduled partition
+## window plus a crash-restart (the revived incarnation rejoins and the
+## census still counts exactly — plan-seed 13's one-round cut heals without
+## touching the two in-flight wavefront messages, and any drop would wedge
+## the run, so completing at all proves the heal), with transcripts required
+## byte-identical at workers 1 and 4 (census is a native step protocol; the
+## worker axis is its concurrency surface — goroutine-vs-step equivalence
+## for the v2 rules is difftest's job). Leg 2: the randomized global sum
+## under a partition that really cuts (95 partitioned drops) and under a
+## crash-restart, on both engines, with all output after the engine-naming
+## header line required identical — same sum, same rounds, same fault
+## counters (the plan is re-applied beneath each stage of the multi-stage
+## sum, so the crash-restart fires twice — hence restarted=2).
+CHAOS2_SMOKE_DIR := /tmp/mmnet-chaos2-smoke
+CHAOS2_CENSUS_ARGS := -graph ring:100000 -algo census -seed 9 \
+	-faults 'seed:13;partition:2@70000;crash:50000@100;restart:50000@120'
+CHAOS2_SUM_ARGS := -graph random -n 48 -extra 96 -algo sum -variant rand \
+	-stage mb -max-rounds 4000
+chaos2-smoke:
+	mkdir -p $(CHAOS2_SMOKE_DIR)
+	$(GO) build -o $(CHAOS2_SMOKE_DIR)/mmnet ./cmd/mmnet
+	$(CHAOS2_SMOKE_DIR)/mmnet $(CHAOS2_CENSUS_ARGS) -workers 1 \
+		-transcript $(CHAOS2_SMOKE_DIR)/w1.mmtr
+	$(CHAOS2_SMOKE_DIR)/mmnet $(CHAOS2_CENSUS_ARGS) -workers 4 \
+		-transcript $(CHAOS2_SMOKE_DIR)/w4.mmtr
+	cmp $(CHAOS2_SMOKE_DIR)/w1.mmtr $(CHAOS2_SMOKE_DIR)/w4.mmtr
+	set -e; for eng in goroutine step; do \
+		$(CHAOS2_SMOKE_DIR)/mmnet $(CHAOS2_SUM_ARGS) -engine $$eng \
+			-faults 'seed:7;partition:2@3-6' 2>&1 \
+			| grep -v '^graph=' > $(CHAOS2_SMOKE_DIR)/part-$$eng.txt; \
+		$(CHAOS2_SMOKE_DIR)/mmnet $(CHAOS2_SUM_ARGS) -engine $$eng \
+			-faults 'seed:7;crash:5@2;restart:5@4' 2>&1 \
+			| grep -v '^graph=' > $(CHAOS2_SMOKE_DIR)/rest-$$eng.txt; \
+	done
+	cmp $(CHAOS2_SMOKE_DIR)/part-goroutine.txt $(CHAOS2_SMOKE_DIR)/part-step.txt
+	cmp $(CHAOS2_SMOKE_DIR)/rest-goroutine.txt $(CHAOS2_SMOKE_DIR)/rest-step.txt
+	grep -q 'partitioned=95' $(CHAOS2_SMOKE_DIR)/part-goroutine.txt
+	grep -q 'restarted=2' $(CHAOS2_SMOKE_DIR)/rest-goroutine.txt
 
 ## ci: the gates .github/workflows/ci.yml runs (its race job re-runs the
 ## short suite, differential seeds, and example smokes under -race)

@@ -35,22 +35,22 @@ func runTiny(t *testing.T, extra ...string) (*Report, string) {
 func TestBenchReportShape(t *testing.T) {
 	rep, _ := runTiny(t)
 	want := map[string]bool{
-		"relay/goroutine":            false,
-		"relay/step-adapter":         false,
-		"relay/step-adapter-w4":      false,
-		"relay/step-native":          false,
-		"relay/step-native-w4":       false,
-		"relay/step-native-w8":       false,
+		"relay/goroutine":               false,
+		"relay/step-adapter":            false,
+		"relay/step-adapter-w4":         false,
+		"relay/step-native":             false,
+		"relay/step-native-w4":          false,
+		"relay/step-native-w8":          false,
 		"phase/relay-native-w1/step":    false,
 		"phase/relay-native-w1/deliver": false,
 		"phase/relay-native-w4/step":    false,
 		"phase/relay-native-w4/deliver": false,
 		"phase/relay-native-w4/barrier": false,
-		"scale/census-step":          false,
-		"scale/forest+coloring-step": false,
-		"scale/mst-merge-step":       false,
-		"mem/ring-implicit":          false,
-		"mem/ring-materialized":      false,
+		"scale/census-step":             false,
+		"scale/forest+coloring-step":    false,
+		"scale/mst-merge-step":          false,
+		"mem/ring-implicit":             false,
+		"mem/ring-materialized":         false,
 	}
 	for _, row := range rep.Rows {
 		if _, ok := want[row.Name]; !ok {

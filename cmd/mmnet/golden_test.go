@@ -49,6 +49,11 @@ var goldenConfigs = []struct {
 	{"sum-ws-small-world-step", []string{"-graph", "ws:24,4,0.2", "-algo", "sum", "-engine", "step"}},
 	{"forest-ba-scale-free-step", []string{"-graph", "ba:26,2", "-algo", "forest", "-engine", "step"}},
 	{"count-faulted-ring24-step", []string{"-graph", "ring", "-n", "24", "-algo", "count", "-engine", "step", "-faults", "seed:5;dup:*@2-20/p0.2/d2", "-max-rounds", "4000"}},
+	// Chaos v2 rules: a partition window the randomized sum survives with
+	// legible drift, and a crash-restart the coloring pipeline completes
+	// through (the restarted node revives inside one of its internal runs).
+	{"sum-rand-mb-partitioned-random18-step", []string{"-graph", "random", "-n", "18", "-extra", "12", "-algo", "sum", "-variant", "rand", "-stage", "mb", "-engine", "step", "-faults", "partition:2@3-6", "-max-rounds", "4000"}},
+	{"coloring-restart-star24-step", []string{"-graph", "star", "-n", "24", "-algo", "coloring", "-engine", "step", "-faults", "crash:7@3;restart:7@8", "-max-rounds", "4000"}},
 }
 
 func TestGoldenTranscripts(t *testing.T) {

@@ -639,8 +639,8 @@ func inputs(v graph.NodeID) int64 { return (int64(v)*2654435761 + 17) % 10_000 }
 func printMetrics(w io.Writer, m *sim.Metrics) {
 	fmt.Fprintf(w, "time=%d rounds, messages=%d, slots: idle=%d success=%d collision=%d, communication=%d\n",
 		m.Rounds, m.Messages, m.SlotsIdle, m.SlotsSuccess, m.SlotsCollision, m.Communication())
-	if m.Crashed+m.DroppedFault+m.Delayed+m.Duplicated+m.SlotsJammed > 0 {
-		fmt.Fprintf(w, "faults: crashed=%d dropped=%d delayed=%d duplicated=%d jammed-slots=%d\n",
-			m.Crashed, m.DroppedFault, m.Delayed, m.Duplicated, m.SlotsJammed)
+	if m.Crashed+m.DroppedFault+m.Delayed+m.Duplicated+m.SlotsJammed+m.PartitionedDrop+m.Restarted+m.Skewed > 0 {
+		fmt.Fprintf(w, "faults: crashed=%d dropped=%d delayed=%d duplicated=%d jammed-slots=%d partitioned=%d restarted=%d skewed=%d\n",
+			m.Crashed, m.DroppedFault, m.Delayed, m.Duplicated, m.SlotsJammed, m.PartitionedDrop, m.Restarted, m.Skewed)
 	}
 }

@@ -8,6 +8,8 @@ package repro
 // explores the tuple space beyond the seeded table.
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/difftest"
 	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/replay"
 	"repro/internal/sim"
 )
 
@@ -28,6 +31,11 @@ var diffFaultPlans = []string{
 	"seed:9;drop:*@2-12/p0.3",
 	"seed:11;crash:4@5;jam:3-4;dup:*@2-9/p0.2/d2",
 	"seed:13;delay:*@1-14/p0.4/d3",
+	// Chaos v2 (append-only: corpus entries index this pool by position).
+	"seed:15;partition:2@3-8",
+	"seed:19;crash:3@4;restart:3@9",
+	"seed:21;drop:*@2-4/e8/p0.5;jam:3-4/e6",
+	"seed:23;partition:3@2-5;crash:2@3;restart:2@10;delay:*@1-12/p0.2/d2",
 }
 
 // diffTuple is one generated differential test case.
@@ -134,8 +142,33 @@ func checkTuple(t *testing.T, d diffTuple) {
 		got = capture(d.proto.Run, g, d.seed)
 	})
 	if !reflect.DeepEqual(want, got) {
-		t.Errorf("%v: engines diverge:\n goroutine: %#v\n step:      %#v", d, want, got)
+		t.Errorf("%v: engines diverge:\n goroutine: %#v\n step:      %#v\n%s", d, want, got, reduceDivergence(d, g, plan))
 	}
+}
+
+// reduceDivergence is the fuzz loop's `mmreplay -bisect` hookup: when a
+// tuple diverges, reduce it to the first round whose full checkpointed
+// engine state differs between worker counts 1 and the tuple's. Only the
+// re-runnable native step protocols can be state-bisected; for the rest,
+// print the search the developer would run by hand.
+func reduceDivergence(d diffTuple, g graph.Topology, plan *fault.Plan) string {
+	var buf bytes.Buffer
+	prog, err := replay.Program(d.proto.Name)
+	if err != nil {
+		fmt.Fprintf(&buf, "auto-reduce: %s has no native step form to bisect; try:\n"+
+			"  go run ./cmd/mmreplay -bisect -algo census -graph %s -n %d -seed %d -faults %q -workers-a 1 -workers-b %d\n",
+			d.proto.Name, d.graph, d.n, d.seed, d.plan, d.workers)
+		return buf.String()
+	}
+	wb := d.workers
+	if wb == 1 {
+		wb = 4
+	}
+	fmt.Fprintf(&buf, "auto-reduce (state bisection, workers 1 vs %d):\n", wb)
+	if err := replay.BisectStates(&buf, g, prog, d.seed, plan, 1500, 1, wb); err != nil && !errors.Is(err, replay.ErrDiverged) {
+		fmt.Fprintf(&buf, "bisect failed: %v\n", err)
+	}
+	return buf.String()
 }
 
 // TestSeededRandomDifferential draws a fixed table of tuples from a seeded
@@ -176,6 +209,16 @@ func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(uint8(10), uint8(4), uint8(20), int64(2), int64(3), uint8(1), uint8(5))
 	// mst on an implicit binary tree (topoSel 5), fault-free, workers 5.
 	f.Add(uint8(3), uint8(5), uint8(17), int64(8), int64(4), uint8(2), uint8(0))
+	// Chaos v2: census through a partition window that cuts and heals
+	// mid-wavefront (planSel 6), and coloring through a crash-restart
+	// (planSel 7) — the restarted node re-enters with a fresh RNG stream.
+	f.Add(uint8(10), uint8(0), uint8(16), int64(2), int64(3), uint8(1), uint8(6))
+	f.Add(uint8(17), uint8(3), uint8(14), int64(5), int64(8), uint8(2), uint8(7))
+	// Recurring windows (planSel 8) over the mst pulse barriers, and the
+	// combined partition+restart+delay storm (planSel 9) on an implicit
+	// ring — the heaviest chaos the contract must hold under.
+	f.Add(uint8(3), uint8(0), uint8(12), int64(4), int64(6), uint8(2), uint8(8))
+	f.Add(uint8(10), uint8(4), uint8(20), int64(2), int64(3), uint8(1), uint8(9))
 	f.Fuzz(func(t *testing.T, protoSel, topoSel, nSel uint8, gseed, seed int64, workerSel, planSel uint8) {
 		if gseed < 0 || seed < 0 {
 			t.Skip("negative seeds normalize to themselves; skip to keep the corpus tidy")

@@ -207,10 +207,12 @@ func syncStepProgram(g graph.Topology, maxRounds int, factory func(id graph.Node
 func Sync(g graph.Topology, seed int64, maxRounds int, factory func(id graph.NodeID) RoundFunc) (*SyncResult, error) {
 	var res *sim.Result
 	var err error
+	// WithSynchronizer unlocks skew: rules — clock skew is meaningful only
+	// at this layer, where a slot is a tick of the §7.1 clock.
 	if sim.DefaultEngine == sim.EngineStep {
-		res, err = sim.RunStep(g, syncStepProgram(g, maxRounds, factory), sim.WithSeed(seed))
+		res, err = sim.RunStep(g, syncStepProgram(g, maxRounds, factory), sim.WithSeed(seed), sim.WithSynchronizer())
 	} else {
-		res, err = sim.Run(g, syncProgram(g, maxRounds, factory), sim.WithSeed(seed))
+		res, err = sim.Run(g, syncProgram(g, maxRounds, factory), sim.WithSeed(seed), sim.WithSynchronizer())
 	}
 	if err != nil {
 		return nil, err

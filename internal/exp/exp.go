@@ -35,6 +35,7 @@ func All() []Experiment {
 		{ID: "E10", Name: "chaos: faults and degradation", Claim: "engineering: jammed 10⁵-node census stays exact; crash/jam/loss degradation is legible and deterministic", Run: runE10},
 		{ID: "E11", Name: "protocol suite at scale", Claim: "engineering: native MST merge and distributed coloring complete on 10⁶-node rings (step engine)", Run: runE11},
 		{ID: "E12", Name: "implicit topologies and heavy tails", Claim: "engineering: O(1)-memory topologies carry a 10⁷-node census; scale-free/small-world workloads run the same protocols", Run: runE12},
+		{ID: "E13", Name: "chaos v2: partition-heal and crash-restart", Claim: "engineering: scheduled partitions, recurring windows, and crash-restart degrade protocols legibly and deterministically", Run: runE13},
 		{ID: "A2", Name: "ablation: Monte Carlo vs Las Vegas", Claim: "§4 remark: verification adds 8√n slots per attempt, restart rate < 1/2", Run: runA2},
 		{ID: "A3", Name: "ablation: global-stage protocols", Claim: "§5.1: Capetanakis O(k·log n) slots vs Metcalfe–Boggs O(k) expected", Run: runA3},
 		{ID: "A4", Name: "ablation: MWOE edge testing", Claim: "design choice: sequential testing keeps messages at O(m+n·log n·log*n); parallel trades messages for rounds", Run: runA4},

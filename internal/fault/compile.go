@@ -30,7 +30,23 @@ const (
 	DelayMsg
 	// DupMsg delivers the message now and again after the returned lag.
 	DupMsg
+	// PartitionDrop destroys the message because its endpoints are in
+	// different partition components during an active partition window.
+	PartitionDrop
+	// SkewMsg defers the message by the returned lag because its sender's
+	// clock is skewed (synchronizer runs only). Mechanically a delay, but
+	// counted separately.
+	SkewMsg
 )
+
+// Caps declares which fault capabilities the executing engine layer
+// supports. Plain round-synchronous runs compile with the zero Caps; the
+// §7.1 synchronizer layer enables Skew.
+type Caps struct {
+	// Skew permits skew: rules — per-node clock skew only means something
+	// where a synchronizer simulates the clock.
+	Skew bool
+}
 
 // mrule is one compiled message-fault rule.
 type mrule struct {
@@ -38,6 +54,7 @@ type mrule struct {
 	index int  // rule index in the plan, salting the coin flips
 	from  int
 	until int
+	every int
 	prob  float64
 	lag   int
 }
@@ -47,31 +64,81 @@ type jrule struct {
 	index int
 	from  int
 	until int
+	every int
 	prob  float64
+}
+
+// prule is one compiled partition rule.
+type prule struct {
+	index  int
+	from   int
+	until  int
+	every  int
+	groups int
+}
+
+// srule is one compiled clock-skew rule.
+type srule struct {
+	index int
+	node  graph.NodeID
+	from  int
+	until int
+	every int
+	lag   int
+}
+
+// inWindow reports whether round falls in the window [from, until],
+// repeated with period `every` when every > 0 (the /eN recurrence: the
+// window re-opens at from, from+every, from+2·every, ...).
+func inWindow(round, from, until, every int) bool {
+	if round < from {
+		return false
+	}
+	if every <= 0 {
+		return round <= until
+	}
+	return (round-from)%every <= until-from
 }
 
 // Injector is a compiled fault plan. The zero value and the nil Injector
 // inject nothing; engines may hold a nil *Injector for fault-free runs and
 // skip every hook.
 type Injector struct {
-	seed        int64
-	crashes     map[int][]graph.NodeID // observation round -> nodes crashing
-	crashRounds []int                  // sorted distinct crash rounds (next-event queries)
-	edgeRules   map[int][]mrule        // per-edge message rules, plan order
-	allRules    []mrule                // wildcard (AllEdges) message rules
-	jams        []jrule
+	seed          int64
+	crashes       map[int][]graph.NodeID // observation round -> nodes crashing
+	crashRounds   []int                  // sorted distinct crash rounds (next-event queries)
+	restarts      map[int][]graph.NodeID // round -> crashed nodes rejoining fresh
+	restartRounds []int                  // sorted distinct restart rounds
+	edgeRules     map[int][]mrule        // per-edge message rules, plan order
+	allRules      []mrule                // wildcard (AllEdges) message rules
+	jams          []jrule
+	parts         []prule
+	skews         []srule
 }
 
 // Compile validates the plan against g (any topology form) and builds its
-// injector. A nil or empty plan compiles to a nil injector and no error.
+// injector under the zero capability set (no synchronizer-only rules). A
+// nil or empty plan compiles to a nil injector and no error.
 func Compile(p *Plan, g graph.Topology) (*Injector, error) {
+	return CompileFor(p, g, Caps{})
+}
+
+// CompileFor compiles the plan for an engine layer with the given
+// capabilities. The §7.1 synchronizer passes Caps{Skew: true}; everything
+// else should use Compile.
+func CompileFor(p *Plan, g graph.Topology, caps Caps) (*Injector, error) {
 	if p.Empty() {
 		return nil, nil
 	}
-	if err := p.validate(g); err != nil {
+	if err := p.validate(g, caps); err != nil {
 		return nil, err
 	}
 	inj := &Injector{seed: p.Seed}
+	type restartRule struct {
+		node  graph.NodeID
+		round int
+	}
+	var restartRules []restartRule
 	for i := range p.Rules {
 		r := &p.Rules[i]
 		from, until := r.window()
@@ -97,7 +164,7 @@ func Compile(p *Plan, g graph.Topology) (*Injector, error) {
 				inj.addCrash(graph.NodeID(v), from+rng.Intn(until-from+1))
 			}
 		case Drop, Delay, Dup:
-			m := mrule{index: i, from: from, until: until, prob: r.prob(), lag: r.lag()}
+			m := mrule{index: i, from: from, until: until, every: r.Every, prob: r.prob(), lag: r.lag()}
 			switch r.Kind {
 			case Drop:
 				m.fate = DropMsg
@@ -115,15 +182,42 @@ func Compile(p *Plan, g graph.Topology) (*Injector, error) {
 				inj.edgeRules[r.Edge] = append(inj.edgeRules[r.Edge], m)
 			}
 		case Jam:
-			inj.jams = append(inj.jams, jrule{index: i, from: from, until: until, prob: r.prob()})
+			inj.jams = append(inj.jams, jrule{index: i, from: from, until: until, every: r.Every, prob: r.prob()})
+		case Partition:
+			inj.parts = append(inj.parts, prule{index: i, from: from, until: until, every: r.Every, groups: r.Groups})
+		case Restart:
+			restartRules = append(restartRules, restartRule{node: r.Node, round: from})
+		case Skew:
+			inj.skews = append(inj.skews, srule{index: i, node: r.Node, from: from, until: until, every: r.Every, lag: r.lag()})
 		}
 	}
-	//mmlint:commutative per-round slices are sorted in place and crashRounds is sorted after
+	// A restart fires iff its crash fired (a /pP crash is a compile-time
+	// coin that may leave the node standing): keep only restarts whose node
+	// is actually scheduled to crash at an earlier round.
+	for _, rr := range restartRules {
+		//mmlint:commutative order-free membership test: does the node crash at any earlier round
+		for round, nodes := range inj.crashes {
+			if round >= rr.round {
+				continue
+			}
+			if slices.Contains(nodes, rr.node) {
+				inj.addRestart(rr.node, rr.round)
+				break
+			}
+		}
+	}
+	//mmlint:commutative per-round slices are sorted in place and the round indexes are sorted after
 	for round, nodes := range inj.crashes {
 		slices.Sort(nodes)
 		inj.crashRounds = append(inj.crashRounds, round)
 	}
 	sort.Ints(inj.crashRounds)
+	//mmlint:commutative per-round slices are sorted in place and restartRounds is sorted after
+	for round, nodes := range inj.restarts {
+		slices.Sort(nodes)
+		inj.restartRounds = append(inj.restartRounds, round)
+	}
+	sort.Ints(inj.restartRounds)
 	return inj, nil
 }
 
@@ -132,6 +226,13 @@ func (inj *Injector) addCrash(v graph.NodeID, round int) {
 		inj.crashes = make(map[int][]graph.NodeID)
 	}
 	inj.crashes[round] = append(inj.crashes[round], v)
+}
+
+func (inj *Injector) addRestart(v graph.NodeID, round int) {
+	if inj.restarts == nil {
+		inj.restarts = make(map[int][]graph.NodeID)
+	}
+	inj.restarts[round] = append(inj.restarts[round], v)
 }
 
 // CrashesAt returns the nodes crash-stopping at the given observation round
@@ -158,6 +259,34 @@ func (inj *Injector) NextCrashAfter(round int) (next int, ok bool) {
 		return 0, false
 	}
 	return inj.crashRounds[i], true
+}
+
+// RestartsAt returns the crashed nodes rejoining fresh at the given round
+// (ascending node order): each performs its new incarnation's initial
+// compute at that round. Nil-safe.
+func (inj *Injector) RestartsAt(round int) []graph.NodeID {
+	if inj == nil {
+		return nil
+	}
+	return inj.restarts[round]
+}
+
+// HasRestarts reports whether any restart is scheduled. Nil-safe.
+func (inj *Injector) HasRestarts() bool { return inj != nil && len(inj.restarts) > 0 }
+
+// NextRestartAfter returns the earliest restart round strictly after the
+// given round — the next-event query that keeps fast-forwarded quiescent
+// stretches from jumping over a scheduled rejoin. Nil-safe; ok is false
+// when no later restart is scheduled.
+func (inj *Injector) NextRestartAfter(round int) (next int, ok bool) {
+	if inj == nil || len(inj.restartRounds) == 0 {
+		return 0, false
+	}
+	i := sort.SearchInts(inj.restartRounds, round+1)
+	if i == len(inj.restartRounds) {
+		return 0, false
+	}
+	return inj.restartRounds[i], true
 }
 
 // HasJams reports whether any jam rule exists. Nil-safe.
@@ -194,7 +323,13 @@ func (inj *Injector) CountJammed(from, until int) int64 {
 	lo, hi := math.MaxInt, 0
 	for i := range inj.jams {
 		lo = min(lo, inj.jams[i].from)
-		hi = max(hi, inj.jams[i].until)
+		if inj.jams[i].every > 0 {
+			// A recurring jam re-opens its window forever; only one-shot
+			// rules bound the scan from above.
+			hi = math.MaxInt
+		} else {
+			hi = max(hi, inj.jams[i].until)
+		}
 	}
 	from, until = max(from, lo), min(until, hi)
 	var n int64
@@ -209,18 +344,45 @@ func (inj *Injector) CountJammed(from, until int) int64 {
 // HasMsgFaults reports whether any message rule exists, letting engines
 // skip the per-message hook entirely on plans without link faults. Nil-safe.
 func (inj *Injector) HasMsgFaults() bool {
-	return inj != nil && (len(inj.edgeRules) > 0 || len(inj.allRules) > 0)
+	return inj != nil && (len(inj.edgeRules) > 0 || len(inj.allRules) > 0 ||
+		len(inj.parts) > 0 || len(inj.skews) > 0)
+}
+
+// group returns the partition component the node hashes into under the
+// given partition rule index and group count: a pure hash of (plan seed,
+// rule index, node), so membership is identical on every engine, worker
+// count, and run. Pure and allocation-free.
+func (inj *Injector) group(index, groups int, v graph.NodeID) int {
+	return int(Mix64(uint64(inj.seed), 0x9a7717a0+uint64(index), uint64(v)) % uint64(groups))
 }
 
 // MsgFate decides the fate of one message: the message crossing edgeID from
-// sender `from`, normally observed at deliverRound. Edge-specific rules are
-// evaluated before wildcard rules, each class in plan order; the first rule
+// sender `from` to recipient `to`, normally observed at deliverRound.
+// Partition rules are evaluated first (a cut severs the link regardless of
+// what other rules would do), then clock-skew rules, then edge-specific
+// rules before wildcard rules, each class in plan order; the first rule
 // whose window contains the round and whose coin fires decides. The
-// returned lag is meaningful for DelayMsg and DupMsg. Pure and safe for
-// concurrent use.
-func (inj *Injector) MsgFate(edgeID int, from graph.NodeID, deliverRound int) (Fate, int) {
+// returned lag is meaningful for DelayMsg, DupMsg, and SkewMsg. Pure and
+// safe for concurrent use.
+func (inj *Injector) MsgFate(edgeID int, from, to graph.NodeID, deliverRound int) (Fate, int) {
 	if inj == nil {
 		return Deliver, 0
+	}
+	for i := range inj.parts {
+		p := &inj.parts[i]
+		if !inWindow(deliverRound, p.from, p.until, p.every) {
+			continue
+		}
+		if inj.group(p.index, p.groups, from) != inj.group(p.index, p.groups, to) {
+			return PartitionDrop, 0
+		}
+	}
+	for i := range inj.skews {
+		s := &inj.skews[i]
+		if s.node != from || !inWindow(deliverRound, s.from, s.until, s.every) {
+			continue
+		}
+		return SkewMsg, s.lag
 	}
 	if rules, ok := inj.edgeRules[edgeID]; ok {
 		if f, lag, ok := inj.applyRules(rules, edgeID, from, deliverRound); ok {
@@ -236,7 +398,7 @@ func (inj *Injector) MsgFate(edgeID int, from graph.NodeID, deliverRound int) (F
 func (inj *Injector) applyRules(rules []mrule, edgeID int, from graph.NodeID, round int) (Fate, int, bool) {
 	for i := range rules {
 		r := &rules[i]
-		if round < r.from || round > r.until {
+		if !inWindow(round, r.from, r.until, r.every) {
 			continue
 		}
 		if r.prob < 1 && !inj.roll(r.index, uint64(edgeID), uint64(from), uint64(round), r.prob) {
@@ -255,7 +417,7 @@ func (inj *Injector) Jammed(round int) bool {
 	}
 	for i := range inj.jams {
 		j := &inj.jams[i]
-		if round < j.from || round > j.until {
+		if !inWindow(round, j.from, j.until, j.every) {
 			continue
 		}
 		if j.prob >= 1 || inj.roll(j.index, 0x1a77, 0, uint64(round), j.prob) {
@@ -299,6 +461,10 @@ func (inj *Injector) Describe() string {
 	for _, nodes := range inj.crashes {
 		crashes += len(nodes)
 	}
-	return fmt.Sprintf("crashes=%d edge-rules=%d wildcard-rules=%d jam-rules=%d",
-		crashes, len(inj.edgeRules), len(inj.allRules), len(inj.jams))
+	restarts := 0
+	for _, nodes := range inj.restarts {
+		restarts += len(nodes)
+	}
+	return fmt.Sprintf("crashes=%d restarts=%d edge-rules=%d wildcard-rules=%d jam-rules=%d partition-rules=%d skew-rules=%d",
+		crashes, restarts, len(inj.edgeRules), len(inj.allRules), len(inj.jams), len(inj.parts), len(inj.skews))
 }

@@ -61,6 +61,24 @@ const (
 	// resolve as a collision, hiding any writer — adversarial affectance on
 	// the shared medium.
 	Jam
+	// Partition cuts the point-to-point network into Groups seeded
+	// components for the window: every message whose endpoints hash into
+	// different groups is destroyed, then the cut heals. The multiaccess
+	// channel is deliberately unaffected — it is a shared medium, not a
+	// link. Group membership is a pure hash of (plan seed, rule index,
+	// node), so one plan partitions any topology the same way in every run.
+	Partition
+	// Restart is crash-restart: a node crash-stopped by an earlier Crash
+	// rule rejoins at round From with reset protocol state (a fresh initial
+	// compute at that round) and a fresh RNG stream for the new
+	// incarnation. Unlike every other kind it revives rather than injures.
+	Restart
+	// Skew applies per-node clock skew at the §7.1 synchronizer layer:
+	// during the window, every message sent by Node arrives Lag rounds
+	// late — its clock runs behind the global pulse. Valid only for
+	// synchronizer runs (Caps.Skew); plain round-synchronous protocols
+	// have no clock to skew.
+	Skew
 )
 
 // String returns the DSL spelling of the kind.
@@ -78,6 +96,12 @@ func (k Kind) String() string {
 		return "dup"
 	case Jam:
 		return "jam"
+	case Partition:
+		return "partition"
+	case Restart:
+		return "restart"
+	case Skew:
+		return "skew"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -94,14 +118,16 @@ const Forever = math.MaxInt
 // Until 0 means From (a single-round window), Prob 0 means 1 (always fire),
 // Lag 0 means 1 round.
 type Rule struct {
-	Kind  Kind
-	Node  graph.NodeID // Crash: the node to stop
-	Frac  float64      // CrashFrac: fraction of nodes in (0, 1]
-	Edge  int          // Drop/Delay/Dup: edge id, or AllEdges
-	From  int          // first observation round affected (≥ 1)
-	Until int          // last observation round affected; 0 = From, Forever = open
-	Prob  float64      // chance the rule fires per event; 0 = 1 (certain)
-	Lag   int          // Delay/Dup: extra rounds; 0 = 1
+	Kind   Kind
+	Node   graph.NodeID // Crash/Restart/Skew: the node affected
+	Frac   float64      // CrashFrac: fraction of nodes in (0, 1]
+	Edge   int          // Drop/Delay/Dup: edge id, or AllEdges
+	From   int          // first observation round affected (≥ 1)
+	Until  int          // last observation round affected; 0 = From, Forever = open
+	Prob   float64      // chance the rule fires per event; 0 = 1 (certain)
+	Lag    int          // Delay/Dup/Skew: extra rounds; 0 = 1
+	Groups int          // Partition: number of seeded components (≥ 2)
+	Every  int          // recurrence period: the window repeats every Every rounds (0 = one-shot)
 }
 
 // window returns the rule's normalized [from, until] round window.
@@ -166,10 +192,12 @@ func ruleString(r *Rule) string {
 	b.WriteString(r.Kind.String())
 	b.WriteByte(':')
 	switch r.Kind {
-	case Crash:
+	case Crash, Restart, Skew:
 		fmt.Fprintf(&b, "%d@", r.Node)
 	case CrashFrac:
 		fmt.Fprintf(&b, "%g@", r.Frac)
+	case Partition:
+		fmt.Fprintf(&b, "%d@", r.Groups)
 	case Drop, Delay, Dup:
 		if r.Edge == AllEdges {
 			b.WriteByte('*')
@@ -188,8 +216,11 @@ func ruleString(r *Rule) string {
 	default:
 		fmt.Fprintf(&b, "%d-%d", from, until)
 	}
-	if r.Kind == Delay || (r.Kind == Dup && r.Lag > 1) {
+	if r.Kind == Delay || r.Kind == Skew || (r.Kind == Dup && r.Lag > 1) {
 		fmt.Fprintf(&b, "/d%d", r.lag())
+	}
+	if r.Every > 0 {
+		fmt.Fprintf(&b, "/e%d", r.Every)
 	}
 	if p := r.prob(); p < 1 {
 		fmt.Fprintf(&b, "/p%g", p)
@@ -197,18 +228,35 @@ func ruleString(r *Rule) string {
 	return b.String()
 }
 
-// validate checks the plan against a concrete topology.
-func (p *Plan) validate(g graph.Topology) error {
+// validate checks the plan against a concrete topology under the given
+// engine capabilities, including the cross-rule constraint that every
+// Restart is preceded by a Crash of the same node.
+func (p *Plan) validate(g graph.Topology, caps Caps) error {
 	for i := range p.Rules {
 		r := &p.Rules[i]
-		if err := r.validate(g); err != nil {
+		if err := r.validate(g, caps); err != nil {
 			return fmt.Errorf("fault: rule %d (%s): %w", i, ruleString(r), err)
+		}
+		if r.Kind != Restart {
+			continue
+		}
+		crashed := false
+		for j := range p.Rules {
+			c := &p.Rules[j]
+			if c.Kind == Crash && c.Node == r.Node && c.From < r.From {
+				crashed = true
+				break
+			}
+		}
+		if !crashed {
+			return fmt.Errorf("fault: rule %d (%s): restart of node %d needs a crash:%d@R rule at an earlier round",
+				i, ruleString(r), r.Node, r.Node)
 		}
 	}
 	return nil
 }
 
-func (r *Rule) validate(g graph.Topology) error {
+func (r *Rule) validate(g graph.Topology, caps Caps) error {
 	from, until := r.window()
 	if from < 1 {
 		return fmt.Errorf("round window starts at %d, want ≥ 1", from)
@@ -221,6 +269,21 @@ func (r *Rule) validate(g graph.Topology) error {
 	}
 	if r.Lag < 0 {
 		return fmt.Errorf("negative lag %d", r.Lag)
+	}
+	if r.Every != 0 {
+		switch r.Kind {
+		case Crash, CrashFrac, Restart:
+			return fmt.Errorf("%s takes no /e recurrence", r.Kind)
+		}
+		if r.Every <= 0 {
+			return fmt.Errorf("zero or negative period %d (want /eN with N ≥ 1)", r.Every)
+		}
+		if until == Forever {
+			return fmt.Errorf("recurring rule needs a bounded round window")
+		}
+		if r.Every < until-from+1 {
+			return fmt.Errorf("period %d shorter than the %d-round window it repeats", r.Every, until-from+1)
+		}
 	}
 	switch r.Kind {
 	case Crash:
@@ -248,6 +311,39 @@ func (r *Rule) validate(g graph.Topology) error {
 			return fmt.Errorf("edge %d outside graph of %d edges", r.Edge, g.M())
 		}
 	case Jam:
+	case Partition:
+		if r.Groups < 2 {
+			return fmt.Errorf("partition needs at least 2 groups, got %d", r.Groups)
+		}
+		if r.Groups > g.N() {
+			return fmt.Errorf("partition into %d groups outside graph of %d nodes", r.Groups, g.N())
+		}
+		if r.Prob != 0 {
+			return fmt.Errorf("partition is all-or-nothing; /p is not allowed")
+		}
+		if r.Lag != 0 {
+			return fmt.Errorf("partition takes no /d lag")
+		}
+	case Restart:
+		if int(r.Node) < 0 || int(r.Node) >= g.N() {
+			return fmt.Errorf("node %d outside graph of %d nodes", r.Node, g.N())
+		}
+		if r.Lag != 0 {
+			return fmt.Errorf("restart takes no /d lag")
+		}
+		if r.Prob != 0 {
+			return fmt.Errorf("restart fires iff its crash fired; /p is not allowed")
+		}
+	case Skew:
+		if int(r.Node) < 0 || int(r.Node) >= g.N() {
+			return fmt.Errorf("node %d outside graph of %d nodes", r.Node, g.N())
+		}
+		if r.Prob != 0 {
+			return fmt.Errorf("skew is deterministic; /p is not allowed")
+		}
+		if !caps.Skew {
+			return fmt.Errorf("skew applies only to synchronizer runs (the §7.1 async layer)")
+		}
 	default:
 		return fmt.Errorf("unknown kind %d", int(r.Kind))
 	}

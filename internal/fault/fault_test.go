@@ -116,17 +116,17 @@ func TestMsgFateWindows(t *testing.T) {
 	}
 	//mmlint:commutative independent pure-function assertions per round
 	for round, want := range map[int]Fate{4: Deliver, 5: DropMsg, 8: DropMsg, 9: Deliver} {
-		if fate, _ := inj.MsgFate(3, 0, round); fate != want {
+		if fate, _ := inj.MsgFate(3, 0, 1, round); fate != want {
 			t.Errorf("edge 3 round %d: fate %v, want %v", round, fate, want)
 		}
 	}
-	if fate, lag := inj.MsgFate(4, 1, 2); fate != DelayMsg || lag != 3 {
+	if fate, lag := inj.MsgFate(4, 1, 2, 2); fate != DelayMsg || lag != 3 {
 		t.Errorf("edge 4 round 2: (%v, %d), want (DelayMsg, 3)", fate, lag)
 	}
-	if fate, _ := inj.MsgFate(4, 1, 3); fate != Deliver {
+	if fate, _ := inj.MsgFate(4, 1, 2, 3); fate != Deliver {
 		t.Errorf("edge 4 round 3 (single-round window): not Deliver")
 	}
-	if fate, _ := inj.MsgFate(0, 0, 5); fate != Deliver {
+	if fate, _ := inj.MsgFate(0, 0, 1, 5); fate != Deliver {
 		t.Errorf("unfaulted edge affected")
 	}
 }
@@ -146,8 +146,8 @@ func TestWildcardAndProbDeterminism(t *testing.T) {
 	drops := 0
 	for edge := 0; edge < g.M(); edge++ {
 		for round := 1; round <= 50; round++ {
-			fa, _ := a.MsgFate(edge, graph.NodeID(edge), round)
-			fb, _ := b.MsgFate(edge, graph.NodeID(edge), round)
+			fa, _ := a.MsgFate(edge, graph.NodeID(edge), graph.NodeID((edge+1)%g.N()), round)
+			fb, _ := b.MsgFate(edge, graph.NodeID(edge), graph.NodeID((edge+1)%g.N()), round)
 			if fa != fb {
 				t.Fatalf("nondeterministic fate at edge %d round %d", edge, round)
 			}

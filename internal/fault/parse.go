@@ -10,9 +10,13 @@ package fault
 //	        | "delay:" edge "@" window opts
 //	        | "dup:"   edge "@" window opts
 //	        | "jam:" window opts
+//	        | "partition:" GROUPS "@" window opts
+//	        | "restart:" NODE "@" ROUND
+//	        | "skew:" NODE "@" window opts
 //	edge    = INT | "*"                     ("*" = every edge)
 //	window  = FROM | FROM "-" | FROM "-" UNTIL
-//	opts    = *( "/d" INT | "/p" FLOAT )    (delay lag, firing probability)
+//	opts    = *( "/d" INT | "/p" FLOAT | "/e" INT )
+//	                                        (lag, firing probability, recurrence period)
 //
 // Examples:
 //
@@ -21,6 +25,12 @@ package fault
 //	delay:*@1-/d2/p0.1          10% of all messages arrive 2 rounds late
 //	jam:4-12/p0.5               rounds 4..12: slots jammed with rate 1/2
 //	seed:42;crashfrac:0.1@1-20  10% of nodes crash during rounds 1..20
+//	partition:3@10-19           rounds 10..19: the network splits into 3
+//	                            seeded components, then heals
+//	jam:5-8/e20                 a 4-round jam recurring every 20 rounds
+//	crash:7@10;restart:7@25     node 7 crashes, rejoins fresh at round 25
+//	skew:2@5-30/d3              node 2's clock runs 3 rounds late
+//	                            (synchronizer runs only)
 
 import (
 	"fmt"
@@ -78,6 +88,12 @@ func parseItem(p *Plan, item string) error {
 		r.Kind = Dup
 	case "jam":
 		r.Kind = Jam
+	case "partition":
+		r.Kind = Partition
+	case "restart":
+		r.Kind = Restart
+	case "skew":
+		r.Kind = Skew
 	default:
 		return fmt.Errorf("unknown fault kind %q", kind)
 	}
@@ -90,12 +106,18 @@ func parseItem(p *Plan, item string) error {
 		}
 		window = w
 		switch r.Kind {
-		case Crash:
+		case Crash, Restart, Skew:
 			node, err := strconv.Atoi(target)
 			if err != nil {
 				return fmt.Errorf("bad node %q", target)
 			}
 			r.Node = graph.NodeID(node)
+		case Partition:
+			groups, err := strconv.Atoi(target)
+			if err != nil {
+				return fmt.Errorf("bad group count %q", target)
+			}
+			r.Groups = groups
 		case CrashFrac:
 			frac, err := strconv.ParseFloat(target, 64)
 			if err != nil {
@@ -118,8 +140,8 @@ func parseItem(p *Plan, item string) error {
 	if r.From, r.Until, err = parseWindow(window); err != nil {
 		return err
 	}
-	if r.Kind == Crash && r.Until != 0 {
-		return fmt.Errorf("crash takes a single round, not a window")
+	if (r.Kind == Crash || r.Kind == Restart) && r.Until != 0 {
+		return fmt.Errorf("%s takes a single round, not a window", r.Kind)
 	}
 	for _, o := range opts {
 		switch {
@@ -131,8 +153,15 @@ func parseItem(p *Plan, item string) error {
 			if r.Prob, err = strconv.ParseFloat(o[1:], 64); err != nil {
 				return fmt.Errorf("bad probability %q", o)
 			}
+		case strings.HasPrefix(o, "e"):
+			if r.Every, err = strconv.Atoi(o[1:]); err != nil {
+				return fmt.Errorf("bad period %q", o)
+			}
+			if r.Every <= 0 {
+				return fmt.Errorf("zero or negative period %q (want /eN with N ≥ 1)", o)
+			}
 		default:
-			return fmt.Errorf("unknown option %q (want /dN or /pF)", o)
+			return fmt.Errorf("unknown option %q (want /dN, /pF, or /eN)", o)
 		}
 	}
 	p.Rules = append(p.Rules, r)

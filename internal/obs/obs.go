@@ -62,8 +62,8 @@ type Obs struct {
 	tr  *tracer    // nil when tracing off
 	col *collector // nil when series off
 
-	base   time.Time // monotonic origin for all span timestamps
-	labels bool
+	base     time.Time // monotonic origin for all span timestamps
+	labels   bool
 	baseCtx  context.Context
 	labelCtx [int(sim.NumPhases)]context.Context
 
@@ -80,7 +80,7 @@ type Obs struct {
 	rounds      *Counter
 	messages    *Counter
 	slots       [4]*Counter // idle, success, collision, jammed
-	faults      [4]*Counter // crashed, dropped, delayed, duplicated
+	faults      [7]*Counter // crashed, dropped, delayed, duplicated, partitioned, restarted, skewed
 	droppedHalt *Counter
 	ffRounds    *Counter
 	awake       *Gauge
@@ -121,7 +121,7 @@ func New(opts Options) *Obs {
 	for i, state := range [...]string{"idle", "success", "collision", "jammed"} {
 		o.slots[i] = reg.Counter("mm_slots_total", "Channel slot outcomes by state.", Labels("state", state))
 	}
-	for i, kind := range [...]string{"crashed", "dropped", "delayed", "duplicated"} {
+	for i, kind := range [...]string{"crashed", "dropped", "delayed", "duplicated", "partitioned", "restarted", "skewed"} {
 		o.faults[i] = reg.Counter("mm_faults_total", "Fault injections by kind.", Labels("kind", kind))
 	}
 	o.droppedHalt = reg.Counter("mm_dropped_halted_total", "Messages addressed to already-halted nodes.", "")
@@ -213,6 +213,9 @@ func (o *Obs) RoundEnd(round, awake int, slot sim.SlotState, m *sim.Metrics) {
 	o.faults[1].Add(delta.DroppedFault)
 	o.faults[2].Add(delta.Delayed)
 	o.faults[3].Add(delta.Duplicated)
+	o.faults[4].Add(delta.PartitionedDrop)
+	o.faults[5].Add(delta.Restarted)
+	o.faults[6].Add(delta.Skewed)
 	o.droppedHalt.Add(delta.DroppedHalted)
 	o.awake.Set(int64(awake))
 	if o.col != nil {
@@ -242,6 +245,9 @@ func (o *Obs) RunEnd(m *sim.Metrics) {
 		o.faults[1].Add(tail.DroppedFault)
 		o.faults[2].Add(tail.Delayed)
 		o.faults[3].Add(tail.Duplicated)
+		o.faults[4].Add(tail.PartitionedDrop)
+		o.faults[5].Add(tail.Restarted)
+		o.faults[6].Add(tail.Skewed)
 		o.droppedHalt.Add(tail.DroppedHalted)
 		o.prevReg = *m
 	}

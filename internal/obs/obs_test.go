@@ -207,7 +207,7 @@ func TestSeriesHeader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"series":"mm-series","version":1,"algo":"census","graph":"ring:64","n":64,"seed":7,"engine":"step","workers":4,"every":3,"faults":"` + testPlan + `"}` + "\n"
+	want := `{"series":"mm-series","version":2,"algo":"census","graph":"ring:64","n":64,"seed":7,"engine":"step","workers":4,"every":3,"faults":"` + testPlan + `"}` + "\n"
 	if line != want {
 		t.Errorf("header line:\n got:  %s want: %s", line, want)
 	}
@@ -356,18 +356,18 @@ func TestMetricsHTTP(t *testing.T) {
 	m := res.Metrics
 	//mmlint:commutative independent exposition-line presence checks
 	for line, want := range map[string]int64{
-		"mm_runs_total":                       1,
-		"mm_rounds_total":                     int64(m.Rounds),
-		"mm_messages_total":                   m.Messages,
-		`mm_slots_total{state="idle"}`:        m.SlotsIdle,
-		`mm_slots_total{state="success"}`:     m.SlotsSuccess,
-		`mm_slots_total{state="collision"}`:   m.SlotsCollision,
-		`mm_slots_total{state="jammed"}`:      m.SlotsJammed,
-		`mm_faults_total{kind="crashed"}`:     m.Crashed,
-		`mm_faults_total{kind="dropped"}`:     m.DroppedFault,
-		`mm_faults_total{kind="delayed"}`:     m.Delayed,
-		`mm_faults_total{kind="duplicated"}`:  m.Duplicated,
-		"mm_dropped_halted_total":             m.DroppedHalted,
+		"mm_runs_total":                      1,
+		"mm_rounds_total":                    int64(m.Rounds),
+		"mm_messages_total":                  m.Messages,
+		`mm_slots_total{state="idle"}`:       m.SlotsIdle,
+		`mm_slots_total{state="success"}`:    m.SlotsSuccess,
+		`mm_slots_total{state="collision"}`:  m.SlotsCollision,
+		`mm_slots_total{state="jammed"}`:     m.SlotsJammed,
+		`mm_faults_total{kind="crashed"}`:    m.Crashed,
+		`mm_faults_total{kind="dropped"}`:    m.DroppedFault,
+		`mm_faults_total{kind="delayed"}`:    m.Delayed,
+		`mm_faults_total{kind="duplicated"}`: m.Duplicated,
+		"mm_dropped_halted_total":            m.DroppedHalted,
 	} {
 		if !strings.Contains(text, fmt.Sprintf("%s %d\n", line, want)) {
 			t.Errorf("exposition missing %q = %d:\n%s", line, want, grepFor(text, strings.SplitN(line, "{", 2)[0]))

@@ -32,8 +32,9 @@ type SeriesHeader struct {
 	Faults  string `json:"faults,omitempty"`
 }
 
-// SeriesFormatVersion is the current row-format version.
-const SeriesFormatVersion = 1
+// SeriesFormatVersion is the current row-format version. Version 2 added
+// the partitioned_drop/restarted/skewed delta columns.
+const SeriesFormatVersion = 2
 
 // seriesRow is one emitted window. run counts RunStarts (multi-stage
 // algorithms emit several runs into one stream); round is the last round
@@ -56,6 +57,9 @@ type seriesRow struct {
 	DroppedFault   int64   `json:"dropped_fault"`
 	Delayed        int64   `json:"delayed"`
 	Duplicated     int64   `json:"duplicated"`
+	Partitioned    int64   `json:"partitioned_drop"`
+	Restarted      int64   `json:"restarted"`
+	Skewed         int64   `json:"skewed"`
 	StepNs         []int64 `json:"step_ns"`    // per shard, this window
 	DeliverNs      []int64 `json:"deliver_ns"` // per shard, this window
 	BarrierNs      []int64 `json:"barrier_ns"` // per shard, this window
@@ -162,6 +166,9 @@ func (c *collector) flush(m *sim.Metrics) {
 		DroppedFault:   delta.DroppedFault,
 		Delayed:        delta.Delayed,
 		Duplicated:     delta.Duplicated,
+		Partitioned:    delta.PartitionedDrop,
+		Restarted:      delta.Restarted,
+		Skewed:         delta.Skewed,
 		StepNs:         c.winNs[sim.PhaseStep],
 		DeliverNs:      c.winNs[sim.PhaseDeliver],
 		BarrierNs:      c.winNs[sim.PhaseBarrier],

@@ -23,7 +23,12 @@ func runStepAdapter(g graph.Topology, program Program, cfg config) (*Result, err
 		return nil, ErrNotCheckpointable
 	}
 	prog := func(sc *StepCtx) Machine {
-		return &goroutineMachine{sc: sc, ctx: newCtx(g, sc.id, cfg.seed), program: program}
+		ctx := newCtx(g, sc.id, cfg.seed)
+		// The engine owns the RNG derivation: a crash-restarted node's
+		// replacement StepCtx carries the incarnation's seed, which must
+		// reach the program's Ctx (for incarnation 0 the two agree).
+		ctx.rngSeed = sc.rngSeed
+		return &goroutineMachine{sc: sc, ctx: ctx, program: program}
 	}
 	// Inbox buffers are not reused: legacy programs may hold an Input's
 	// Msgs across Tick, which the goroutine engine always allowed. The

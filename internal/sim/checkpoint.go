@@ -163,6 +163,12 @@ type NodeCheckpoint struct {
 	HasRNG   bool
 	RNGDraws uint64 // generator position: source draws consumed so far
 
+	// Crash-restart state; all zero for runs without restart rules, which
+	// keeps old checkpoints decoding unchanged (gob zero defaults).
+	Crashed     bool // fault-crashed, so revivable by a restart rule
+	Incarnation int  // restart count; keys the incarnation's RNG stream
+	RoundBase   int  // global round the current incarnation joined at
+
 	Result any // recorded result (halted nodes); nil otherwise
 
 	HasState bool
@@ -343,6 +349,11 @@ func (e *stepEngine) writeCheckpoint(round int) error {
 			ns.HasRNG = true
 			ns.RNGDraws = sc.rngCS.draws
 		}
+		if e.crashed != nil {
+			ns.Crashed = e.crashed[v]
+			ns.Incarnation = int(e.incarn[v])
+			ns.RoundBase = int(e.roundBase[v])
+		}
 		ns.Result = sc.result
 		if sc.halted {
 			continue // dead machines are never stepped again; no state needed
@@ -428,6 +439,16 @@ func (e *stepEngine) restore(cp *Checkpoint) error {
 		sc.asleep = ns.Asleep
 		sc.pulseWake = ns.PulseWake
 		sc.result = ns.Result
+		if ns.Incarnation > 0 {
+			// The node restarted before the capture: its RNG stream is the
+			// incarnation's, not the original derivation's.
+			sc.rngSeed = nodeSeedAt(e.cfg.seed, sc.id, ns.Incarnation)
+		}
+		if e.roundBase != nil {
+			e.crashed[v] = ns.Crashed
+			e.incarn[v] = int32(ns.Incarnation)
+			e.roundBase[v] = int32(ns.RoundBase)
+		}
 		if ns.HasRNG {
 			sc.rng, sc.rngCS = newNodeRand(sc.rngSeed, ns.RNGDraws)
 		}

@@ -129,4 +129,7 @@ func (m *Metrics) Sub(other *Metrics) {
 	m.Delayed -= other.Delayed
 	m.Duplicated -= other.Duplicated
 	m.SlotsJammed -= other.SlotsJammed
+	m.PartitionedDrop -= other.PartitionedDrop
+	m.Restarted -= other.Restarted
+	m.Skewed -= other.Skewed
 }

@@ -44,6 +44,23 @@ func nodeSeed(seed int64, id graph.NodeID) int64 {
 	return int64(fault.Mix64(uint64(seed), uint64(id), rngSalt))
 }
 
+// restartSalt keys the incarnation derivation of nodeSeedAt, independent of
+// every other use of the finalizer.
+const restartSalt = 0x4e57a47
+
+// nodeSeedAt derives the RNG seed of node id's k-th incarnation: a
+// crash-restarted node draws from a fresh stream, never replaying or
+// continuing the dead incarnation's randomness. Incarnation 0 is exactly
+// nodeSeed — pre-restart behavior (and every committed golden) is
+// untouched. Part of the determinism contract: both engines, every worker
+// count, and every resume derive the same incarnation streams.
+func nodeSeedAt(seed int64, id graph.NodeID, incarnation int) int64 {
+	if incarnation == 0 {
+		return nodeSeed(seed, id)
+	}
+	return int64(fault.Mix64(uint64(nodeSeed(seed, id)), uint64(incarnation), restartSalt))
+}
+
 // countedSource wraps the node's rand source, counting draws so the
 // generator's position can be checkpointed and restored. Both Int63 and
 // Uint64 advance math/rand's rngSource by exactly one internal step, so

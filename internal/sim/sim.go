@@ -134,11 +134,14 @@ type Metrics struct {
 	SlotsCollision int64
 	DroppedHalted  int64 // messages addressed to already-halted nodes
 
-	Crashed      int64 // nodes crash-stopped by fault injection
-	DroppedFault int64 // messages destroyed by link faults
-	Delayed      int64 // messages deferred by delay faults
-	Duplicated   int64 // extra message copies scheduled by duplicate faults
-	SlotsJammed  int64 // slots forced to collision by channel jamming
+	Crashed         int64 // nodes crash-stopped by fault injection
+	DroppedFault    int64 // messages destroyed by link faults
+	Delayed         int64 // messages deferred by delay faults
+	Duplicated      int64 // extra message copies scheduled by duplicate faults
+	SlotsJammed     int64 // slots forced to collision by channel jamming
+	PartitionedDrop int64 // messages destroyed because a partition cut their link
+	Restarted       int64 // crashed nodes revived by restart faults
+	Skewed          int64 // messages deferred because their sender's clock is skewed
 }
 
 // Slots returns the total number of channel slots with at least one writer.
@@ -161,29 +164,36 @@ func (m *Metrics) Add(other *Metrics) {
 	m.Delayed += other.Delayed
 	m.Duplicated += other.Duplicated
 	m.SlotsJammed += other.SlotsJammed
+	m.PartitionedDrop += other.PartitionedDrop
+	m.Restarted += other.Restarted
+	m.Skewed += other.Skewed
 }
 
 // MarshalJSON renders the metrics as a flat snake_case object including the
 // derived totals, the machine-readable form emitted by mmnet -json.
 func (m Metrics) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
-		Rounds         int   `json:"rounds"`
-		Messages       int64 `json:"messages"`
-		SlotsIdle      int64 `json:"slots_idle"`
-		SlotsSuccess   int64 `json:"slots_success"`
-		SlotsCollision int64 `json:"slots_collision"`
-		SlotsJammed    int64 `json:"slots_jammed"`
-		Slots          int64 `json:"slots"`
-		Communication  int64 `json:"communication"`
-		DroppedHalted  int64 `json:"dropped_halted"`
-		Crashed        int64 `json:"crashed"`
-		DroppedFault   int64 `json:"dropped_fault"`
-		Delayed        int64 `json:"delayed"`
-		Duplicated     int64 `json:"duplicated"`
+		Rounds          int   `json:"rounds"`
+		Messages        int64 `json:"messages"`
+		SlotsIdle       int64 `json:"slots_idle"`
+		SlotsSuccess    int64 `json:"slots_success"`
+		SlotsCollision  int64 `json:"slots_collision"`
+		SlotsJammed     int64 `json:"slots_jammed"`
+		Slots           int64 `json:"slots"`
+		Communication   int64 `json:"communication"`
+		DroppedHalted   int64 `json:"dropped_halted"`
+		Crashed         int64 `json:"crashed"`
+		DroppedFault    int64 `json:"dropped_fault"`
+		Delayed         int64 `json:"delayed"`
+		Duplicated      int64 `json:"duplicated"`
+		PartitionedDrop int64 `json:"partitioned_drop"`
+		Restarted       int64 `json:"restarted"`
+		Skewed          int64 `json:"skewed"`
 	}{
 		m.Rounds, m.Messages, m.SlotsIdle, m.SlotsSuccess, m.SlotsCollision,
 		m.SlotsJammed, m.Slots(), m.Communication(), m.DroppedHalted,
 		m.Crashed, m.DroppedFault, m.Delayed, m.Duplicated,
+		m.PartitionedDrop, m.Restarted, m.Skewed,
 	})
 }
 
@@ -207,11 +217,16 @@ type config struct {
 	workers   int
 	faults    *fault.Plan
 	faultsSet bool
+	sync      bool
 	rec       Recorder
 	tw        *TranscriptWriter
 	ckpt      *CheckpointSpec
 	resume    *Checkpoint
 }
+
+// caps derives the fault capabilities this run's layer supports: clock skew
+// exists only under the §7.1 synchronizer.
+func (c *config) caps() fault.Caps { return fault.Caps{Skew: c.sync} }
 
 // plan resolves the run's fault plan: the WithFaults option when given,
 // DefaultFaults otherwise. A nil plan means a fault-free run.
@@ -275,6 +290,13 @@ var DefaultFaults *fault.Plan
 func WithFaults(p *fault.Plan) Option {
 	return func(c *config) { c.faults = p; c.faultsSet = true }
 }
+
+// WithSynchronizer marks the run as a §7.1 synchronizer execution
+// (internal/async drives the round structure as simulated clock pulses),
+// enabling the fault capabilities that only mean something where a
+// synchronizer owns per-node clocks — today that is skew: rules. Plain
+// round-synchronous runs reject skew plans at compile time.
+func WithSynchronizer() Option { return func(c *config) { c.sync = true } }
 
 type outMsg struct {
 	edgeID  int
@@ -477,7 +499,7 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 		// engine capability (Resume always runs the step engine).
 		return nil, ErrNotCheckpointable
 	}
-	inj, err := fault.Compile(cfg.plan(), g)
+	inj, err := fault.CompileFor(cfg.plan(), g, cfg.caps())
 	if err != nil {
 		return nil, err
 	}
@@ -513,9 +535,11 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 		}
 	}
 
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		ctx := ctxs[v]
+	// spawn launches one node goroutine (initial start and restart revivals
+	// share it): run the program, record the first error, and always hand
+	// the scheduler a final halt signal.
+	spawn := func(ctx *Ctx) {
+		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() {
@@ -533,6 +557,9 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 			}
 		}()
 	}
+	for v := 0; v < n; v++ {
+		spawn(ctxs[v])
+	}
 
 	res := &Result{Results: make([]any, n)}
 	met := &res.Metrics
@@ -543,8 +570,38 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 		alive[v] = true
 	}
 	aliveCount := n
+	var (
+		crashed     []bool // fault-crashed (not normally-halted) nodes, revivable by restart
+		roundBase   []int  // global round of each node's latest incarnation's initial compute
+		incarnation []int  // how many times each node has been revived
+	)
+	if inj.HasRestarts() {
+		crashed = make([]bool, n)
+		roundBase = make([]int, n)
+		incarnation = make([]int, n)
+	}
 
 	for round := 0; ; round++ {
+		// Revive the crashed nodes whose restart is scheduled for this
+		// round: a fresh context (reset protocol state, incarnation-keyed
+		// RNG stream) performs its initial compute alongside everyone
+		// else's compute round. Restart only undoes a crash — a node that
+		// halted on its own stays halted.
+		for _, v := range inj.RestartsAt(round) {
+			if alive[v] || !crashed[v] {
+				continue
+			}
+			crashed[v] = false
+			incarnation[v]++
+			roundBase[v] = round
+			ctx := newCtx(g, v, cfg.seed)
+			ctx.rngSeed = nodeSeedAt(cfg.seed, v, incarnation[v])
+			ctxs[v] = ctx
+			alive[v] = true
+			aliveCount++
+			met.Restarted++
+			spawn(ctx)
+		}
 		var tStep, tDeliver int64
 		if rec != nil {
 			tStep = rec.BeginPhase(PhaseStep, 0)
@@ -611,17 +668,24 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 				met.Messages++
 				msg := Message{From: ctx.id, EdgeID: m.edgeID, Payload: m.payload}
 				if msgFaults {
-					switch fate, lag := inj.MsgFate(m.edgeID, ctx.id, round+1); fate {
+					switch fate, lag := inj.MsgFate(m.edgeID, ctx.id, m.to, round+1); fate {
 					case fault.DropMsg:
 						met.DroppedFault++
 						continue
-					case fault.DelayMsg, fault.DupMsg:
+					case fault.PartitionDrop:
+						met.PartitionedDrop++
+						continue
+					case fault.DelayMsg, fault.DupMsg, fault.SkewMsg:
 						if pending == nil {
 							pending = make(map[int][]pendingMsg)
 						}
 						pending[round+1+lag] = append(pending[round+1+lag], pendingMsg{to: m.to, msg: msg})
 						if fate == fault.DelayMsg {
 							met.Delayed++
+							continue
+						}
+						if fate == fault.SkewMsg {
+							met.Skewed++
 							continue
 						}
 						met.Duplicated++
@@ -654,6 +718,9 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 			alive[v] = false
 			aliveCount--
 			met.Crashed++
+			if crashed != nil {
+				crashed[v] = true
+			}
 		}
 
 		if aliveCount == 0 {
@@ -713,7 +780,13 @@ func runGoroutine(g graph.Topology, program Program, cfg config) (*Result, error
 			if !alive[v] {
 				continue
 			}
-			ctx.resume <- Input{Round: round + 1, Msgs: inboxes[v], Slot: slot}
+			in := Input{Round: round + 1, Msgs: inboxes[v], Slot: slot}
+			if roundBase != nil {
+				// A revived incarnation counts rounds from its own initial
+				// compute: global round roundBase[v] is its local round 0.
+				in.Round -= roundBase[v]
+			}
+			ctx.resume <- in
 		}
 	}
 

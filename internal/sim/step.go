@@ -400,6 +400,8 @@ type stepShard struct {
 	faultDrops    int64
 	delayed       int64
 	duped         int64
+	partDrops     int64
+	skewed        int64
 }
 
 const (
@@ -411,19 +413,29 @@ const (
 )
 
 type stepEngine struct {
-	topo  graph.Topology
-	mat   *graph.Graph // topo's stored form, or nil — gates the O(m) fast-path indexes
-	cfg   config
-	inj   *fault.Injector   // nil for fault-free runs
-	rec   Recorder          // nil = observability off (the zero-cost path)
-	tw    *TranscriptWriter // nil = transcripts off; emission is coordinator-only
-	ck    *ckptState        // nil = checkpoints off
-	reuse bool              // reuse inbox buffers (native runs; the adapter reallocates)
+	topo    graph.Topology
+	mat     *graph.Graph // topo's stored form, or nil — gates the O(m) fast-path indexes
+	cfg     config
+	program StepProgram       // the init hook, kept for crash-restart revival
+	inj     *fault.Injector   // nil for fault-free runs
+	rec     Recorder          // nil = observability off (the zero-cost path)
+	tw      *TranscriptWriter // nil = transcripts off; emission is coordinator-only
+	ck      *ckptState        // nil = checkpoints off
+	reuse   bool              // reuse inbox buffers (native runs; the adapter reallocates)
 
 	topoDigest uint64 // lazy topologyDigest cache (0 = not yet computed)
 
 	nodes []StepCtx
 	inbox [][]Message
+
+	// Crash-restart state, allocated only when the plan has restart rules.
+	// crashed marks fault-crashed (revivable) nodes — a node that halted
+	// normally is not revivable; roundBase is the global round a node's
+	// current incarnation joined at (its local round 0); incarn counts
+	// restarts, keying the incarnation's RNG stream.
+	crashed   []bool
+	roundBase []int32
+	incarn    []int32
 
 	linkAt    [][2]int32 // edge id -> local link index at (U, V); stored form only
 	sentOff   []int      // per-node offset into sentFlags
@@ -486,7 +498,7 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 // newStepEngine compiles the fault plan, sizes the shards, and runs the
 // init hook — everything up to (but not including) round 0.
 func newStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInboxes bool) (*stepEngine, error) {
-	inj, err := fault.Compile(cfg.plan(), g)
+	inj, err := fault.CompileFor(cfg.plan(), g, cfg.caps())
 	if err != nil {
 		return nil, err
 	}
@@ -511,6 +523,7 @@ func newStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		topo:    g,
 		mat:     mat,
 		cfg:     cfg,
+		program: program,
 		inj:     inj,
 		rec:     cfg.recorder(),
 		tw:      cfg.transcript(),
@@ -520,6 +533,11 @@ func newStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		sentOff: make([]int, n),
 		workers: workers,
 		alive:   n,
+	}
+	if inj.HasRestarts() {
+		e.crashed = make([]bool, n)
+		e.roundBase = make([]int32, n)
+		e.incarn = make([]int32, n)
 	}
 	if cfg.ckpt != nil {
 		e.ck = newCkptState(cfg.ckpt)
@@ -616,6 +634,13 @@ func (e *stepEngine) run(start int) (res *Result, err error) {
 				break
 			}
 		}
+		// Crash-restarts due this round revive after the checkpoint capture
+		// (a checkpoint at the restart round records the pre-restart state,
+		// so a resume re-applies the restart deterministically) and are not
+		// gated on round > start for the same reason.
+		if e.crashed != nil {
+			e.reviveRestarts(round)
+		}
 		stepped = stepped[:0]
 		for i := range e.shards {
 			if len(e.shards[i].awake) > 0 {
@@ -676,6 +701,9 @@ func (e *stepEngine) run(start int) (res *Result, err error) {
 				sc.result = sc.machine.Result()
 			}
 			sc.halted = true
+			if e.crashed != nil {
+				e.crashed[v] = true
+			}
 			e.alive--
 			e.met.Crashed++
 		}
@@ -692,6 +720,7 @@ func (e *stepEngine) run(start int) (res *Result, err error) {
 		for i := range e.shards {
 			s := &e.shards[i]
 			s.msgs, s.dropped, s.faultDrops, s.delayed, s.duped = 0, 0, 0, 0, 0
+			s.partDrops, s.skewed = 0, 0
 		}
 		e.runPhase(phaseDeliver, stepped, awakeTotal)
 		for i := range e.shards {
@@ -701,6 +730,8 @@ func (e *stepEngine) run(start int) (res *Result, err error) {
 			e.met.DroppedFault += s.faultDrops
 			e.met.Delayed += s.delayed
 			e.met.Duplicated += s.duped
+			e.met.PartitionedDrop += s.partDrops
+			e.met.Skewed += s.skewed
 		}
 
 		awakeTotal = 0
@@ -751,6 +782,53 @@ func (e *stepEngine) run(start int) (res *Result, err error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// reviveRestarts applies the crash-restarts due at this round: each revived
+// node is rebuilt from scratch — the init hook runs again, producing a fresh
+// machine with reset protocol state, the RNG stream is re-derived for the
+// new incarnation, and the round base makes its next step a local round 0 —
+// exactly a fresh node joining mid-run. Only fault-crashed nodes revive; a
+// node that halted normally stays halted.
+func (e *stepEngine) reviveRestarts(round int) {
+	for _, v := range e.inj.RestartsAt(round) {
+		sc := &e.nodes[v]
+		if !sc.halted || !e.crashed[v] {
+			continue
+		}
+		e.crashed[v] = false
+		e.incarn[v]++
+		e.roundBase[v] = int32(round)
+		*sc = StepCtx{id: graph.NodeID(v), eng: e, scheduled: true}
+		sc.rngSeed = nodeSeedAt(e.cfg.seed, sc.id, int(e.incarn[v]))
+		if e.reuse {
+			e.inbox[v] = e.inbox[v][:0]
+		} else {
+			e.inbox[v] = nil
+		}
+		if err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = nodeFailure(sc.id, r)
+				}
+			}()
+			sc.machine = e.program(sc)
+			return nil
+		}(); err != nil {
+			e.recordErr(sc.id, err)
+			sc.halted = true
+			continue
+		}
+		if sc.machine == nil {
+			e.recordErr(sc.id, fmt.Errorf("sim: step program returned a nil machine for node %d", sc.id))
+			sc.halted = true
+			continue
+		}
+		si := int(v) / e.shardSize
+		e.shards[si].awake = append(e.shards[si].awake, int32(v))
+		e.alive++
+		e.met.Restarted++
+	}
 }
 
 // emitRound streams one executed round's transcript frame: the shards'
@@ -844,6 +922,11 @@ func (e *stepEngine) ffTarget(r int) int {
 	// applied round r+1's.
 	if c, ok := e.inj.NextCrashAfter(r + 1); ok && c-1 < R {
 		R = c - 1
+	}
+	// Restarts at round q revive at the top of iteration q, which must
+	// therefore execute; iteration r already applied round r's.
+	if q, ok := e.inj.NextRestartAfter(r); ok && q < R {
+		R = q
 	}
 	if R > r+1 && e.hasPulseSleepers() {
 		// Parked pulse waiters wake at the first non-jammed slot (writers
@@ -1112,8 +1195,18 @@ func (e *stepEngine) stepNodes(s *stepShard, start int) (next int) {
 		sc.scheduled = false
 		sc.asleep = false
 		sc.pulseWake = false
-		sc.round = round
-		halt := sc.machine.Step(Input{Round: round, Msgs: e.inbox[v], Slot: slot})
+		in := Input{Round: round, Msgs: e.inbox[v], Slot: slot}
+		if e.roundBase != nil && e.roundBase[v] != 0 {
+			// A restarted incarnation counts rounds from its revival: its
+			// first step is a local round 0 — no messages, a zero slot —
+			// exactly what a fresh node's machine sees.
+			in.Round = round - int(e.roundBase[v])
+			if in.Round == 0 {
+				in.Msgs, in.Slot = nil, Slot{}
+			}
+		}
+		sc.round = in.Round
+		halt := sc.machine.Step(in)
 		if e.reuse {
 			e.inbox[v] = e.inbox[v][:0]
 		} else {
@@ -1209,13 +1302,17 @@ func (e *stepEngine) deliverShard(d int) {
 // applyMsgFaults routes one staged message through the injector. A false
 // return means the message must not be delivered this round: destroyed, or
 // deferred into the pending buffer. Duplicates are scheduled for later and
-// the original still delivered now.
+// the original still delivered now; a skewed sender's messages are deferred
+// like delays, modeling its slow clock.
 func (e *stepEngine) applyMsgFaults(sd *stepShard, m *delivered, deliverRound int) bool {
-	switch fate, lag := e.inj.MsgFate(int(m.edgeID), m.from, deliverRound); fate {
+	switch fate, lag := e.inj.MsgFate(int(m.edgeID), m.from, m.to, deliverRound); fate {
 	case fault.DropMsg:
 		sd.faultDrops++
 		return false
-	case fault.DelayMsg, fault.DupMsg:
+	case fault.PartitionDrop:
+		sd.partDrops++
+		return false
+	case fault.DelayMsg, fault.DupMsg, fault.SkewMsg:
 		if sd.pending == nil {
 			sd.pending = make(map[int][]delivered)
 		}
@@ -1227,8 +1324,12 @@ func (e *stepEngine) applyMsgFaults(sd *stepShard, m *delivered, deliverRound in
 		}
 		sd.pending[key] = append(lst, *m)
 		sd.pendingN++
-		if fate == fault.DelayMsg {
+		switch fate {
+		case fault.DelayMsg:
 			sd.delayed++
+			return false
+		case fault.SkewMsg:
+			sd.skewed++
 			return false
 		}
 		sd.duped++

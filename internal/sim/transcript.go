@@ -13,7 +13,7 @@ package sim
 // transcript be stitched onto the original's prefix and compared against an
 // uninterrupted run byte for byte.
 //
-// # Wire format (version 1)
+// # Wire format (version 2)
 //
 //	prelude  "MMTR" | version byte | flags byte (bit0: gzip)
 //	stream   header frame, round frames (ascending rounds), final frame
@@ -29,9 +29,9 @@ package sim
 //	        uvarint len(label), label
 //	round   uvarint round | slot state byte |
 //	        (success only: uvarint writer id, 8-byte payload digest LE) |
-//	        uvarint alive | 11 uvarint Metrics fields (struct order) |
+//	        uvarint alive | 14 uvarint Metrics fields (struct order) |
 //	        uvarint k | k × (uvarint node-id delta, 8-byte inbox digest LE)
-//	final   11 uvarint Metrics fields | uvarint len(err), err |
+//	final   14 uvarint Metrics fields | uvarint len(err), err |
 //	        8-byte results digest LE | uvarint n
 //
 // Inbox digests are 64-bit FNV-1a over each message's (sender, edge id,
@@ -57,7 +57,10 @@ import (
 )
 
 // TranscriptVersion is the wire format version this package writes.
-const TranscriptVersion = 1
+// Version 2 extended the metrics field list from 11 to 14 (partitioned
+// drops, restarts, skewed messages); the reader is strict, so version-1
+// streams must be regenerated rather than reinterpreted.
+const TranscriptVersion = 2
 
 const (
 	transcriptMagic = "MMTR"
@@ -169,12 +172,15 @@ func appendMetrics(b []byte, m *Metrics) []byte {
 	b = binary.AppendUvarint(b, uint64(m.Delayed))
 	b = binary.AppendUvarint(b, uint64(m.Duplicated))
 	b = binary.AppendUvarint(b, uint64(m.SlotsJammed))
+	b = binary.AppendUvarint(b, uint64(m.PartitionedDrop))
+	b = binary.AppendUvarint(b, uint64(m.Restarted))
+	b = binary.AppendUvarint(b, uint64(m.Skewed))
 	return b
 }
 
 // transcriptMetricsFields is the number of Metrics fields on the wire,
 // cross-checked against the struct by reflection in tests.
-const transcriptMetricsFields = 11
+const transcriptMetricsFields = 14
 
 func decodeMetrics(d *frameDecoder, m *Metrics) {
 	m.Rounds = int(d.uvarint())
@@ -188,6 +194,9 @@ func decodeMetrics(d *frameDecoder, m *Metrics) {
 	m.Delayed = int64(d.uvarint())
 	m.Duplicated = int64(d.uvarint())
 	m.SlotsJammed = int64(d.uvarint())
+	m.PartitionedDrop = int64(d.uvarint())
+	m.Restarted = int64(d.uvarint())
+	m.Skewed = int64(d.uvarint())
 }
 
 // TranscriptWriter streams a run's transcript. Engines drive it through

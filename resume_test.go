@@ -20,6 +20,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/globalfunc"
 	"repro/internal/graph"
+	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/size"
 )
@@ -109,7 +110,7 @@ func checkResumeTuple(t *testing.T, g graph.Topology, prog sim.StepProgram, seed
 	ref, want, wantErr := runWithTranscript(t, g, prog, append(base, sim.WithWorkers(1))...)
 	refW4, _, _ := runWithTranscript(t, g, prog, append(base, sim.WithWorkers(4))...)
 	if !bytes.Equal(ref, refW4) {
-		t.Fatalf("uninterrupted transcripts differ between workers 1 and 4")
+		t.Fatalf("uninterrupted transcripts differ between workers 1 and 4\n%s", replay.DiffBytes(ref, refW4))
 	}
 
 	// Locate the last executed iteration: the final round frame's label.
@@ -136,7 +137,7 @@ func checkResumeTuple(t *testing.T, g graph.Topology, prog sim.StepProgram, seed
 	}
 	ckRaw, _, _ := runWithTranscript(t, g, prog, append(base, sim.WithWorkers(2), sim.WithCheckpoints(spec))...)
 	if !bytes.Equal(ckRaw, ref) {
-		t.Fatalf("checkpoint capture changed the transcript")
+		t.Fatalf("checkpoint capture changed the transcript\n%s", replay.DiffBytes(ref, ckRaw))
 	}
 	if len(cps) == 0 {
 		t.Fatalf("no checkpoints captured at %v", spec.At)
@@ -168,7 +169,10 @@ func checkResumeTuple(t *testing.T, g graph.Topology, prog sim.StepProgram, seed
 			}
 			got := stitchTranscripts(t, ref, buf.Bytes(), cp.Round)
 			if !bytes.Equal(got, ref) {
-				t.Errorf("resume r%d w%d: stitched transcript differs from uninterrupted run (%d vs %d bytes)", cp.Round, w, len(got), len(ref))
+				// Auto-reduce the divergence to its first divergent round
+				// and field — the in-process form of `mmreplay -diff`.
+				t.Errorf("resume r%d w%d: stitched transcript differs from uninterrupted run (%d vs %d bytes)\n%s",
+					cp.Round, w, len(got), len(ref), replay.DiffBytes(ref, got))
 			}
 		}
 	}
@@ -180,6 +184,13 @@ var resumePlans = []string{
 	"",
 	"seed:17;delay:*@2-10/p0.3/d2;dup:*@3-9/p0.3/d3",
 	"seed:11;crash:4@5;jam:3-4;dup:*@2-9/p0.2/d2",
+	// Chaos v2 (append-only: fuzz corpus entries index this pool): a
+	// partition that heals mid-run, so cuts land inside the window and the
+	// restored run must still heal on schedule; and a crash-restart whose
+	// revival lands inside a recurring jam window, so a resumed run must
+	// re-derive the incarnation RNG and the jam schedule together.
+	"seed:15;partition:2@3-9",
+	"seed:19;crash:3@4;restart:3@9;jam:8-10/e6",
 }
 
 func TestCheckpointResumeDifferential(t *testing.T) {
@@ -255,6 +266,12 @@ func FuzzResumeEquivalence(f *testing.F) {
 	// census under the delay+dup storm: the checkpoint must carry in-flight
 	// delayed and duplicated messages through the resume.
 	f.Add(uint8(0), uint8(14), int64(23), uint8(3), uint8(1))
+	// Chaos v2: a partition healing across a checkpoint capture (cutSel 4
+	// lands inside the 3-9 window), and a restart landing inside a jam
+	// window — the resumed incarnation must re-derive its fresh RNG stream
+	// and the recurring jam schedule from the checkpoint alone.
+	f.Add(uint8(0), uint8(18), int64(11), uint8(4), uint8(3))
+	f.Add(uint8(1), uint8(10), int64(7), uint8(5), uint8(4))
 	f.Fuzz(func(t *testing.T, protoSel, nSel uint8, seed int64, cutSel, planSel uint8) {
 		if seed < 0 {
 			t.Skip("negative seeds normalize to themselves")
