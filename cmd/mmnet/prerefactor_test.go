@@ -1,0 +1,111 @@
+package main
+
+// prerefactor_test.go pins checkpoint layout portability across engine
+// rewrites: the committed MMCP fixtures under testdata/prerefactor were
+// captured by the engine as it was before the struct-of-arrays node-state
+// compaction, and every later engine must resume them into a run whose
+// stitched transcript is byte-identical to the committed reference. The
+// two captures cover both restore surfaces: round 200 carries undelivered
+// inbox messages (the census wavefront), round 300 carries in-flight
+// delayed messages in the pending buffer.
+//
+// The fixtures were generated with
+//
+//	mmnet -graph ring:512 -algo census -seed 9 \
+//	    -faults 'delay:*@295-305/d10;dup:*@298-308' \
+//	    -transcript ring512.ref.mmtr \
+//	    -checkpoint ring512-cp%d.mmcp -checkpoint-at 200,300
+//
+// and must never be regenerated: their value is exactly that they encode
+// the OLD layout. (The census protocol draws no per-node randomness, so
+// the fixtures are insensitive to RNG-stream changes; fault coins come
+// from the plan seed, which the checkpoint carries.)
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPrerefactorCheckpointResume(t *testing.T) {
+	ref, err := os.ReadFile(filepath.Join("testdata", "prerefactor", "ring512.ref.mmtr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{200, 300} {
+		t.Run(fmt.Sprintf("cp%d", cut), func(t *testing.T) {
+			resumed := filepath.Join(t.TempDir(), "resumed.mmtr")
+			var buf bytes.Buffer
+			err := run([]string{"-graph", "ring:512", "-algo", "census", "-seed", "9",
+				"-resume", filepath.Join("testdata", "prerefactor", fmt.Sprintf("ring512-cp%d.mmcp", cut)),
+				"-transcript", resumed}, &buf)
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			res, err := os.ReadFile(resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := stitchRaw(t, ref, res, cut)
+			if !bytes.Equal(got, ref) {
+				t.Errorf("stitched transcript differs from pre-refactor reference (%d vs %d bytes)", len(got), len(ref))
+			}
+		})
+	}
+}
+
+// stitchRaw byte-stitches ref's frames through round cut with the resumed
+// transcript's post-header frames — the file-format-level reimplementation
+// the sim package's checkpoint tests use, kept independent of the reader so
+// a framing bug cannot hide itself.
+func stitchRaw(t *testing.T, ref, resumed []byte, cut int) []byte {
+	t.Helper()
+	offs, rounds := rawFrames(t, ref)
+	cutOff := len(ref)
+	for i, r := range rounds {
+		if (r == -1 && i > 0) || r > cut {
+			cutOff = offs[i]
+			break
+		}
+	}
+	roffs, _ := rawFrames(t, resumed)
+	if len(roffs) < 2 {
+		t.Fatalf("resumed transcript has only %d frames", len(roffs))
+	}
+	out := append([]byte{}, ref[:cutOff]...)
+	return append(out, resumed[roffs[1]:]...)
+}
+
+// rawFrames scans an uncompressed MMTR stream: 6-byte prelude, then frames
+// of kind byte | uvarint len | body | 4-byte crc. Round frames (kind 2)
+// open with the round uvarint; other kinds report round -1.
+func rawFrames(t *testing.T, raw []byte) (offsets, roundsOf []int) {
+	t.Helper()
+	if len(raw) < 6 || string(raw[:4]) != "MMTR" || raw[5]&1 != 0 {
+		t.Fatal("not a plain MMTR transcript")
+	}
+	off := 6
+	for off < len(raw) {
+		offsets = append(offsets, off)
+		kind := raw[off]
+		size, n := binary.Uvarint(raw[off+1:])
+		if n <= 0 {
+			t.Fatalf("bad frame length at offset %d", off)
+		}
+		body := raw[off+1+n : off+1+n+int(size)]
+		if kind == 2 {
+			r, _ := binary.Uvarint(body)
+			roundsOf = append(roundsOf, int(r))
+		} else {
+			roundsOf = append(roundsOf, -1)
+		}
+		off += 1 + n + int(size) + 4
+	}
+	if off != len(raw) {
+		t.Fatalf("trailing garbage: %d bytes", len(raw)-off)
+	}
+	return offsets, roundsOf
+}
