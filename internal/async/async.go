@@ -79,7 +79,7 @@ func (a *NodeAPI) Degree() int { return a.eng.g.Degree(a.id) }
 // by the §7.1 protocol.
 func (a *NodeAPI) Send(link int, payload any) {
 	h := a.eng.g.Adj(a.id)[link]
-	a.eng.send(a.id, h.To, h.EdgeID, payload)
+	a.eng.send(a.id, h.To, int(h.EdgeID), payload)
 }
 
 // SendTo transmits to the given neighbor.

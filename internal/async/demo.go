@@ -41,7 +41,7 @@ func SumDemo(inputs func(graph.NodeID) int64, results []int64, mu *sync.Mutex) f
 			}
 			linkOf := func(edgeID int) int {
 				for l, h := range api.Adj() {
-					if h.EdgeID == edgeID {
+					if int(h.EdgeID) == edgeID {
 						return l
 					}
 				}

@@ -10,8 +10,14 @@ import (
 )
 
 // NodeID identifies a node; nodes are numbered 0..n-1 as in the paper's
-// model, where ids are unique and representable in O(log n) bits.
-type NodeID int
+// model, where ids are unique and representable in O(log n) bits. The id is
+// 32-bit so id-indexed engine state stays compact at 10⁸ nodes and beyond;
+// MaxNodes caps every constructor accordingly.
+type NodeID int32
+
+// MaxNodes is the largest representable node count: ids (and the edge ids
+// stored alongside them) must fit in an int32.
+const MaxNodes = 1<<31 - 1
 
 // Weight is an edge weight. The paper assumes distinct weights w.l.o.g.; all
 // generators in this package produce distinct weights.
@@ -32,10 +38,12 @@ func (e Edge) Other(v NodeID) NodeID {
 }
 
 // Half is one direction of an edge as seen from a node's adjacency list.
+// Field order packs the struct to 16 bytes (a third of its original size):
+// adjacency storage dominates a materialized graph's footprint.
 type Half struct {
 	To     NodeID
+	EdgeID int32 // index into Graph.Edges()
 	Weight Weight
-	EdgeID int // index into Graph.Edges()
 }
 
 // Graph is an immutable simple undirected weighted graph. Adjacency lists
@@ -125,8 +133,8 @@ func (b *Builder) Build() (*Graph, error) {
 		adj:   make([][]Half, b.n),
 	}
 	for id, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], Half{To: e.V, Weight: e.Weight, EdgeID: id})
-		g.adj[e.V] = append(g.adj[e.V], Half{To: e.U, Weight: e.Weight, EdgeID: id})
+		g.adj[e.U] = append(g.adj[e.U], Half{To: e.V, Weight: e.Weight, EdgeID: int32(id)})
+		g.adj[e.V] = append(g.adj[e.V], Half{To: e.U, Weight: e.Weight, EdgeID: int32(id)})
 	}
 	for v := range g.adj {
 		sortHalves(g.adj[v])

@@ -95,7 +95,7 @@ func TestHalfEdgeIDsConsistent(t *testing.T) {
 	g := mustBuild(t, NewBuilder(3).AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(0, 2, 3))
 	for v := 0; v < g.N(); v++ {
 		for _, h := range g.Adj(NodeID(v)) {
-			e := g.Edge(h.EdgeID)
+			e := g.Edge(int(h.EdgeID))
 			if e.Other(NodeID(v)) != h.To || e.Weight != h.Weight {
 				t.Errorf("half edge %+v inconsistent with edge %+v at node %d", h, e, v)
 			}

@@ -81,7 +81,7 @@ func (t *Implicit) AdjAppend(v NodeID, buf []Half) []Half {
 	var arr [implicitStackDegree]nbr
 	start := len(buf)
 	for _, b := range t.nbrs(v, arr[:0]) {
-		buf = append(buf, Half{To: b.to, Weight: t.weightOf(v, b), EdgeID: b.id})
+		buf = append(buf, Half{To: b.to, Weight: t.weightOf(v, b), EdgeID: int32(b.id)})
 	}
 	sortHalves(buf[start:])
 	return buf
@@ -111,7 +111,7 @@ func (t *Implicit) HalfAt(v NodeID, link int) Half {
 	var harr [implicitStackDegree]Half
 	halves := harr[:0]
 	for _, b := range t.nbrs(v, narr[:0]) {
-		halves = append(halves, Half{To: b.to, Weight: t.weightOf(v, b), EdgeID: b.id})
+		halves = append(halves, Half{To: b.to, Weight: t.weightOf(v, b), EdgeID: int32(b.id)})
 	}
 	if link < 0 || link >= len(halves) {
 		panic(fmt.Sprintf("graph: %s: node %d link %d of %d", t.spec, v, link, len(halves)))
@@ -178,6 +178,9 @@ var _ Topology = (*Implicit)(nil)
 
 // newImplicit fills the family-independent fields and validates the size.
 func newImplicit(spec string, n, m int, seed int64) (*Implicit, error) {
+	if n > MaxNodes {
+		return nil, fmt.Errorf("graph: %s: %d nodes exceed the NodeID cap of %d", spec, n, MaxNodes)
+	}
 	if m > implicitMaxEdges {
 		return nil, fmt.Errorf("graph: %s: %d edges exceed the implicit cap of %d", spec, m, implicitMaxEdges)
 	}
@@ -387,7 +390,7 @@ func ImplicitStar(n int, seed int64) (*Implicit, error) {
 	t.hubAdj = make([]Half, 0, n-1)
 	for i := 1; i < n; i++ {
 		t.hubAdj = append(t.hubAdj, Half{
-			To: NodeID(i), Weight: implicitWeight(seed, 0, NodeID(i), i-1), EdgeID: i - 1,
+			To: NodeID(i), Weight: implicitWeight(seed, 0, NodeID(i), i-1), EdgeID: int32(i - 1),
 		})
 	}
 	sortHalves(t.hubAdj)

@@ -1,0 +1,34 @@
+package graph
+
+import "testing"
+
+// TestImplicitInt32OverflowGuards pins the NodeID/edge-id caps: node ids and
+// edge ids are stored as int32 end to end (adjacency halves, engine state,
+// checkpoints), so a spec whose n exceeds MaxNodes or whose edge count
+// exceeds the implicit cap must be rejected at construction, not wrap at
+// runtime. The constructors are O(1), so probing beyond-cap sizes is free.
+func TestImplicitInt32OverflowGuards(t *testing.T) {
+	if _, err := ImplicitRing(1<<31+10, 1); err == nil {
+		t.Error("ring with n > MaxNodes accepted")
+	}
+	if _, err := ImplicitPath(MaxNodes+1, 1); err == nil {
+		t.Error("path with n = MaxNodes+1 accepted")
+	}
+	if _, err := ImplicitStar(1<<32, 1); err == nil {
+		t.Error("star with n = 2^32 accepted")
+	}
+	// Hypercube dim 29: n = 2^29 fits, but m = 29·2^28 ≈ 7.8e9 overflows the
+	// edge-id space — the m cap must fire even when n is representable.
+	if _, err := ImplicitHypercube(29, 1); err == nil {
+		t.Error("hypercube with m > implicit edge cap accepted")
+	}
+	// The spec grammar is the CLI surface; the guard must reach it.
+	if _, err := ParseSpec("ring:3000000000", 1); err == nil {
+		t.Error("spec ring:3000000000 accepted")
+	}
+
+	// At-cap sizes stay constructible (the guard is >, not >=).
+	if _, err := ImplicitRing(MaxNodes, 1); err != nil {
+		t.Errorf("ring at MaxNodes rejected: %v", err)
+	}
+}

@@ -128,8 +128,8 @@ func Materialize(t Topology) (*Graph, error) {
 		g.adj[v] = make([]Half, 0, deg[v])
 	}
 	for id, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], Half{To: e.V, Weight: e.Weight, EdgeID: id})
-		g.adj[e.V] = append(g.adj[e.V], Half{To: e.U, Weight: e.Weight, EdgeID: id})
+		g.adj[e.U] = append(g.adj[e.U], Half{To: e.V, Weight: e.Weight, EdgeID: int32(id)})
+		g.adj[e.V] = append(g.adj[e.V], Half{To: e.U, Weight: e.Weight, EdgeID: int32(id)})
 	}
 	for v := range g.adj {
 		sortHalves(g.adj[v])

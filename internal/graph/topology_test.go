@@ -86,7 +86,7 @@ func TestImplicitInvariants(t *testing.T) {
 						t.Fatalf("LinkIndex(%d, %d) not incident", v, id)
 					}
 					h := top.HalfAt(v, l)
-					if h.EdgeID != id || h.To != e.Other(v) || h.Weight != e.Weight {
+					if int(h.EdgeID) != id || h.To != e.Other(v) || h.Weight != e.Weight {
 						t.Fatalf("HalfAt(%d, %d) = %+v, want edge %d", v, l, h, id)
 					}
 				}
@@ -111,7 +111,7 @@ func TestImplicitInvariants(t *testing.T) {
 					if got := top.HalfAt(v, l); got != h {
 						t.Fatalf("node %d: HalfAt(%d) = %+v, want %+v", v, l, got, h)
 					}
-					if gotL, ok := top.LinkIndex(v, h.EdgeID); !ok || gotL != l {
+					if gotL, ok := top.LinkIndex(v, int(h.EdgeID)); !ok || gotL != l {
 						t.Fatalf("node %d: LinkIndex(edge %d) = %d,%v, want %d", v, h.EdgeID, gotL, ok, l)
 					}
 				}
@@ -184,7 +184,7 @@ func TestGraphLinkIndex(t *testing.T) {
 	}
 	for v := NodeID(0); int(v) < g.N(); v++ {
 		for l, h := range g.Adj(v) {
-			if got, ok := g.LinkIndex(v, h.EdgeID); !ok || got != l {
+			if got, ok := g.LinkIndex(v, int(h.EdgeID)); !ok || got != l {
 				t.Fatalf("LinkIndex(%d, %d) = %d,%v, want %d", v, h.EdgeID, got, ok, l)
 			}
 		}

@@ -179,12 +179,12 @@ func mergeProgram(f *forest.Forest, phasesOut *int) sim.Program {
 			myCur := curOf(initFrag)
 			best := mMin{Valid: false, W: graph.Weight(int64(^uint64(0) >> 1))}
 			for _, h := range c.Adj() {
-				other, ok := linkFrag[h.EdgeID]
+				other, ok := linkFrag[int(h.EdgeID)]
 				if !ok || curOf(other) == myCur {
 					continue
 				}
 				if !best.Valid || h.Weight < best.W {
-					best = mMin{Valid: true, W: h.Weight, Edge: h.EdgeID, Target: other}
+					best = mMin{Valid: true, W: h.Weight, Edge: int(h.EdgeID), Target: other}
 				}
 			}
 			reports := 0

@@ -39,8 +39,8 @@ func RingSegmentForest(g graph.Topology, k int) (*forest.Forest, error) {
 		next := cur
 		nextEdge := -1
 		for _, h := range g.Adj(cur) {
-			if h.To != prev && h.EdgeID != heaviest {
-				next, nextEdge = h.To, h.EdgeID
+			if h.To != prev && int(h.EdgeID) != heaviest {
+				next, nextEdge = h.To, int(h.EdgeID)
 				break
 			}
 		}

@@ -172,7 +172,7 @@ func (m *mergeMachine) enterConv() {
 			continue
 		}
 		if !m.best.Valid || h.Weight < m.best.W {
-			m.best = mMin{Valid: true, W: h.Weight, Edge: h.EdgeID, Target: m.linkFrag[l]}
+			m.best = mMin{Valid: true, W: h.Weight, Edge: int(h.EdgeID), Target: m.linkFrag[l]}
 		}
 	}
 	m.reports = 0

@@ -34,10 +34,10 @@ func (nd *dnode) mwoeStep(in sim.Input) sim.Input {
 		for nextLink < len(adj) {
 			h := adj[nextLink]
 			nextLink++
-			if nd.rejected[h.EdgeID] || h.EdgeID == nd.parentEdge || nd.children[h.EdgeID] {
+			if nd.rejected[int(h.EdgeID)] || int(h.EdgeID) == nd.parentEdge || nd.children[int(h.EdgeID)] {
 				continue
 			}
-			wantTest = h.EdgeID
+			wantTest = int(h.EdgeID)
 			return
 		}
 		testDone = true // exhausted: no outgoing candidate

@@ -20,10 +20,10 @@ func (nd *dnode) mwoeStepParallel(in sim.Input) sim.Input {
 	pending := 0
 	if nd.active {
 		for _, h := range c.Adj() {
-			if nd.rejected[h.EdgeID] || h.EdgeID == nd.parentEdge || nd.children[h.EdgeID] {
+			if nd.rejected[int(h.EdgeID)] || int(h.EdgeID) == nd.parentEdge || nd.children[int(h.EdgeID)] {
 				continue
 			}
-			c.Send(c.LinkOf(h.EdgeID), dTest{Frag: nd.frag})
+			c.Send(c.LinkOf(int(h.EdgeID)), dTest{Frag: nd.frag})
 			pending++
 		}
 	}

@@ -42,8 +42,8 @@ func TestFragmentSizesMatchesGoroutineForm(t *testing.T) {
 					nd.parentEdge = f.ParentEdge[v]
 				}
 				for _, h := range c.Adj() {
-					if f.Parent[h.To] == v && f.ParentEdge[h.To] == h.EdgeID {
-						nd.children[h.EdgeID] = true
+					if f.Parent[h.To] == v && f.ParentEdge[h.To] == int(h.EdgeID) {
+						nd.children[int(h.EdgeID)] = true
 					}
 				}
 				nd.countStep(sim.Input{})

@@ -384,11 +384,11 @@ func (c *Ctx) Send(link int, p Payload) {
 		panic(fmt.Sprintf("sim: node %d send on link %d of %d", c.id, link, len(adj)))
 	}
 	h := adj[link]
-	if c.sentLink[h.EdgeID] {
+	if c.sentLink[int(h.EdgeID)] {
 		panic(fmt.Sprintf("sim: node %d sent twice on edge %d in round %d", c.id, h.EdgeID, c.round))
 	}
-	c.sentLink[h.EdgeID] = true
-	c.out = append(c.out, outMsg{edgeID: h.EdgeID, to: h.To, payload: p})
+	c.sentLink[int(h.EdgeID)] = true
+	c.out = append(c.out, outMsg{edgeID: int(h.EdgeID), to: h.To, payload: p})
 }
 
 // SendTo queues a message to the given neighbor.
@@ -452,7 +452,7 @@ func newCtx(t graph.Topology, id graph.NodeID, seed int64) *Ctx {
 		done:       make(chan bool, 1),
 	}
 	for l, h := range adj {
-		ctx.linkByEdge[h.EdgeID] = l
+		ctx.linkByEdge[int(h.EdgeID)] = l
 		ctx.linkByPeer[h.To] = l
 	}
 	return ctx

@@ -556,7 +556,7 @@ func newStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		for v := 0; v < n; v++ {
 			id := graph.NodeID(v)
 			for l, h := range mat.Adj(id) {
-				if mat.Edge(h.EdgeID).U == id {
+				if mat.Edge(int(h.EdgeID)).U == id {
 					e.linkAt[h.EdgeID][0] = int32(l)
 				} else {
 					e.linkAt[h.EdgeID][1] = int32(l)
