@@ -8,7 +8,6 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"reflect"
 	"testing"
 
@@ -472,8 +471,10 @@ func TestFaultRestart(t *testing.T) {
 	// rounds 1..3), then crashes. The restart at round 6 re-runs the
 	// program: local rounds 0..3 land at global 7..10. Each incarnation's
 	// round-0 probe draws the first value of its own derived stream.
-	probe0 := rand.New(rand.NewSource(nodeSeedAt(1, 2, 0))).Int63()
-	probe1 := rand.New(rand.NewSource(nodeSeedAt(1, 2, 1))).Int63()
+	rand0, _ := newNodeRand(nodeSeedAt(1, 2, 0), 0)
+	rand1, _ := newNodeRand(nodeSeedAt(1, 2, 1), 0)
+	probe0 := rand0.Int63()
+	probe1 := rand1.Int63()
 	if probe0 == probe1 {
 		t.Fatalf("incarnation streams collide: %d", probe0)
 	}

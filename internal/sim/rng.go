@@ -2,8 +2,7 @@ package sim
 
 // rng.go holds the per-node RNG machinery shared by both engines: the seed
 // derivation that turns (master seed, node id) into a private stream, and a
-// draw-counting rand.Source64 wrapper that makes RNG positions
-// checkpointable.
+// draw-counting rand.Source64 that makes RNG positions checkpointable.
 //
 // # Derivation
 //
@@ -16,14 +15,23 @@ package sim
 // injector's coins and the implicit topologies' weights), so distinct
 // (seed, id) pairs give independent streams at any network size.
 //
-// # Positions
+// # Source
 //
-// math/rand exposes no way to read or restore a generator's position, so
-// Ctx.Rand and StepCtx.Rand wrap their source in a countedSource that
-// counts draws. Every generator method advances the underlying rngSource
-// by exactly one Uint64 per source call, so a checkpoint records the count
-// and a resume re-derives the seed and discards that many draws —
-// bit-identical continuation without serializing generator internals.
+// countedSource is a SplitMix64 generator: the whole stream state is one
+// 64-bit word that advances by a fixed odd gamma per draw, with a finalizer
+// mix on output. Two properties pay for the stream change (which moved the
+// RNG-drawing goldens once, like the nodeSeed derivation change before it):
+//
+//   - Memory: the per-node RNG is two words (state + draw count) instead of
+//     math/rand's ~4.9 KB rngSource array — the difference between 10⁸
+//     drawing nodes fitting in RAM or not.
+//   - O(1) positioning: state after k draws is seed + k·gamma, so a resume
+//     jumps to the checkpointed position arithmetically instead of
+//     discarding k draws one by one.
+//
+// Every rand.Rand generator method advances the source by at least one call
+// and each source call is one gamma step, so the draw count alone pins the
+// position — bit-identical continuation without serializing internals.
 
 import (
 	"math/rand"
@@ -61,43 +69,57 @@ func nodeSeedAt(seed int64, id graph.NodeID, incarnation int) int64 {
 	return int64(fault.Mix64(uint64(nodeSeed(seed, id)), uint64(incarnation), restartSalt))
 }
 
-// countedSource wraps the node's rand source, counting draws so the
-// generator's position can be checkpointed and restored. Both Int63 and
-// Uint64 advance math/rand's rngSource by exactly one internal step, so
-// the count alone pins the position.
+// splitmixGamma is Weyl increment of the SplitMix64 sequence (the golden
+// ratio in 0.64 fixed point, forced odd), as in Steele, Lea & Flood,
+// "Fast Splittable Pseudorandom Number Generators" (OOPSLA 2014).
+const splitmixGamma = 0x9e3779b97f4a7c15
+
+// splitmix64 finalizes one state word into one output word.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rngWordAt returns the SplitMix64 state word of a stream seeded with seed
+// after draws outputs — the O(1) position arithmetic countedSource and the
+// step engine's compact per-node RNG slots share.
+func rngWordAt(seed int64, draws uint64) uint64 {
+	return uint64(seed) + draws*splitmixGamma
+}
+
+// countedSource is the node's SplitMix64 stream: word advances by one gamma
+// per draw, draws counts them for checkpointing. It implements
+// rand.Source64 so rand.Rand's distribution methods (Intn, Float64, Perm,
+// …) run unchanged on top.
 type countedSource struct {
-	src   rand.Source64
+	word  uint64
 	draws uint64
 }
 
 func newCountedSource(seed int64) *countedSource {
-	//mmlint:nondet seeded constructor: rand.NewSource with a derived seed is the deterministic per-node stream
-	return &countedSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &countedSource{word: uint64(seed)}
 }
 
 func (s *countedSource) Int63() int64 {
-	s.draws++
-	return s.src.Int63()
+	return int64(s.Uint64() >> 1)
 }
 
 func (s *countedSource) Uint64() uint64 {
+	s.word += splitmixGamma
 	s.draws++
-	return s.src.Uint64()
+	return splitmix64(s.word)
 }
 
 func (s *countedSource) Seed(seed int64) {
+	s.word = uint64(seed)
 	s.draws = 0
-	s.src.Seed(seed)
 }
 
 // newNodeRand builds a node's private generator at a given position:
-// freshly derived for live runs (draws 0), fast-forwarded for resumes.
+// freshly derived for live runs (draws 0), jumped arithmetically for
+// resumes (state after k draws is seed + k·gamma).
 func newNodeRand(seed int64, draws uint64) (*rand.Rand, *countedSource) {
-	cs := newCountedSource(seed)
-	r := rand.New(cs)
-	for i := uint64(0); i < draws; i++ {
-		cs.src.Uint64()
-	}
-	cs.draws = draws
-	return r, cs
+	cs := &countedSource{word: rngWordAt(seed, draws), draws: draws}
+	return rand.New(cs), cs
 }

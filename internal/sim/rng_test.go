@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/graph"
@@ -107,17 +106,44 @@ func TestCountedSourceCountsAndReplays(t *testing.T) {
 	}
 }
 
-// TestCountedSourceMatchesPlainSource pins the invariant Rand() relies on:
-// wrapping the source in countedSource must not change the stream rand.Rand
-// produces (rand.New uses the Source64 path in both cases).
-func TestCountedSourceMatchesPlainSource(t *testing.T) {
+// TestCountedSourceIsSplitMix64 pins the stream itself: the source must be
+// canonical SplitMix64 (gamma-stepped Weyl state through the 30/27/31
+// finalizer), because the step engine re-derives the same stream from a
+// bare (state word, draw count) pair without a countedSource in hand — any
+// drift between the two constructions would silently fork the engines.
+func TestCountedSourceIsSplitMix64(t *testing.T) {
 	const seed = 12345
-	plain := rand.New(rand.NewSource(seed))
-	counted, _ := newNodeRand(seed, 0)
+	cs := newCountedSource(seed)
+	word := uint64(seed)
 	for i := 0; i < 64; i++ {
-		p, c := plain.Uint64(), counted.Uint64()
-		if p != c {
-			t.Fatalf("draw %d: plain %d != counted %d", i, p, c)
+		word += 0x9e3779b97f4a7c15
+		z := word
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		want := z ^ (z >> 31)
+		if got := cs.Uint64(); got != want {
+			t.Fatalf("draw %d: got %#x, want canonical splitmix64 %#x", i, got, want)
 		}
+	}
+	// O(1) positioning is the arithmetic the resume path depends on.
+	if got, want := rngWordAt(seed, 64), word; got != want {
+		t.Fatalf("rngWordAt(seed, 64) = %#x, want stepped state %#x", got, want)
+	}
+}
+
+// TestCountedSourceInt63HalvesUint64 pins the Source64 coupling: Int63 is
+// exactly one Uint64 draw shifted down, so either entry point advances the
+// stream identically and the draw counter stays the position's sole truth.
+func TestCountedSourceInt63HalvesUint64(t *testing.T) {
+	const seed = 12345
+	a := newCountedSource(seed)
+	b := newCountedSource(seed)
+	for i := 0; i < 64; i++ {
+		if got, want := a.Int63(), int64(b.Uint64()>>1); got != want {
+			t.Fatalf("draw %d: Int63 %d, want Uint64>>1 %d", i, got, want)
+		}
+	}
+	if a.draws != b.draws {
+		t.Fatalf("Int63 advanced %d draws, Uint64 %d", a.draws, b.draws)
 	}
 }
