@@ -49,12 +49,15 @@ func (m *colorMachine) Step(in sim.Input) bool {
 
 func (m *colorMachine) Result() any { return m.result }
 
-// StepProgram returns the native machine form of Program.
+// StepProgram returns the native machine form of Program. Machines come
+// from a per-run slab: one allocation for the whole forest.
 func StepProgram(f *forest.Forest) sim.StepProgram {
 	children := f.Children()
+	var slab sim.Slab[colorMachine]
 	return func(c *sim.StepCtx) sim.Machine {
 		id := c.ID()
-		m := &colorMachine{
+		m := slab.Alloc(c.N())
+		*m = colorMachine{
 			c: c,
 			st: colorState{
 				T:       stepsToSix(c.N()),

@@ -41,7 +41,7 @@ func BFSProgram() sim.Program {
 	return func(c *sim.Ctx) error {
 		st := newBFSState(c.ID() == 0)
 		if st.root {
-			st.explore(cSender{c}, nil)
+			st.explore(cSender{c}, 0, nil)
 		}
 		for {
 			in := c.Tick()
@@ -53,23 +53,29 @@ func BFSProgram() sim.Program {
 	}
 }
 
-// BFSStepProgram returns the native machine form of the protocol.
+// BFSStepProgram returns the native machine form of the protocol. Machines
+// come from a per-run slab — one allocation for the whole network, with the
+// protocol state embedded by value — so million-node forests cost one block
+// per node, not two heap objects.
 func BFSStepProgram() sim.StepProgram {
+	var slab sim.Slab[bfsMachine]
 	return func(c *sim.StepCtx) sim.Machine {
-		return &bfsMachine{c: c, st: newBFSState(c.ID() == 0)}
+		m := slab.Alloc(c.N())
+		*m = bfsMachine{c: c, st: newBFSState(c.ID() == 0)}
+		return m
 	}
 }
 
 type bfsMachine struct {
 	c  *sim.StepCtx
-	st *bfsState
+	st bfsState
 }
 
 func (m *bfsMachine) Step(in sim.Input) bool {
 	s := scSender{m.c}
 	if in.Round == 0 {
 		if m.st.root {
-			m.st.explore(s, nil)
+			m.st.explore(s, 0, nil)
 		}
 		return m.st.finishRound(m.c)
 	}
@@ -121,16 +127,23 @@ type bfsState struct {
 	resultIn bool
 }
 
-func newBFSState(root bool) *bfsState {
-	return &bfsState{root: root, adopted: root, parent: -1, parentEdge: -1, parentLink: -1, size: 1}
+func newBFSState(root bool) bfsState {
+	return bfsState{root: root, adopted: root, parent: -1, parentEdge: -1, parentLink: -1, size: 1}
 }
 
-func (st *bfsState) explore(s sender, skip map[int]bool) {
+// explore sends the wavefront on every link except those named by the skip
+// set — a bitmask over links < 64 plus a map for a high-degree hub's rest,
+// so the common case stays allocation-free.
+func (st *bfsState) explore(s sender, skipMask uint64, skipBig map[int]bool) {
 	for l := 0; l < s.degree(); l++ {
-		if !skip[l] {
-			s.send(l, fExplore{})
-			st.acksPending++
+		if l < 64 && skipMask&(uint64(1)<<l) != 0 {
+			continue
 		}
+		if l >= 64 && skipBig[l] {
+			continue
+		}
+		s.send(l, fExplore{})
+		st.acksPending++
 	}
 	st.explored = true
 }
@@ -149,14 +162,19 @@ func (st *bfsState) step(s sender, in sim.Input) (halt bool) {
 	bestLink := -1
 	bestEdge := -1
 	var bestFrom graph.NodeID
-	var exploredLinks map[int]bool
+	var skipMask uint64
+	var skipBig map[int]bool
 	for _, msg := range in.Msgs {
 		if _, ok := msg.Payload.(fExplore); ok {
 			l := s.linkOf(msg.EdgeID)
-			if exploredLinks == nil {
-				exploredLinks = make(map[int]bool, 2)
+			if l < 64 {
+				skipMask |= uint64(1) << l
+			} else {
+				if skipBig == nil {
+					skipBig = make(map[int]bool, 2)
+				}
+				skipBig[l] = true
 			}
-			exploredLinks[l] = true
 			if bestLink == -1 || msg.From < bestFrom {
 				bestLink, bestEdge, bestFrom = l, msg.EdgeID, msg.From
 			}
@@ -166,7 +184,7 @@ func (st *bfsState) step(s sender, in sim.Input) (halt bool) {
 	if bestLink != -1 && !st.adopted {
 		st.adopted, adoptedNow = true, true
 		st.parentLink, st.parentEdge, st.parent = bestLink, bestEdge, bestFrom
-		st.explore(s, exploredLinks)
+		st.explore(s, skipMask, skipBig)
 	}
 	parentLinkBusy := false
 	for _, msg := range in.Msgs {

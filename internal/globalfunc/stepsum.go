@@ -14,67 +14,136 @@ package globalfunc
 import (
 	"encoding/gob"
 	"fmt"
-	"slices"
+	"math/bits"
 
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
 
 // P2PStepProgram returns the native step-machine form of the point-to-point
-// baseline protocol run by PointToPoint.
+// baseline protocol run by PointToPoint. Machines are drawn from one
+// contiguous slab sized to the network (individual allocations past its
+// capacity serve crash-restart revivals), so a 10⁸-node census costs one
+// machine-sized block per node in a single allocation, not 10⁸ separate
+// heap objects.
 func P2PStepProgram(op Op, in Inputs) sim.StepProgram {
+	sh := &p2pShared{op: op}
 	return func(c *sim.StepCtx) sim.Machine {
-		return &p2pMachine{
+		m := sh.slab.Alloc(c.N())
+		*m = p2pMachine{
 			c:          c,
-			op:         op,
+			sh:         sh,
 			partial:    in(c.ID()),
-			adopted:    c.ID() == 0,
 			parentLink: -1,
 		}
+		if c.ID() == 0 {
+			m.flags = p2pAdopted
+		}
+		return m
 	}
 }
+
+// p2pShared is the per-program state every p2pMachine points at: the
+// operator (one copy instead of an interface header per node) and the
+// machine slab.
+type p2pShared struct {
+	op   Op
+	slab sim.Slab[p2pMachine]
+}
+
+// p2pMachine flag bits (the protocol's former bool fields).
+const (
+	p2pAdopted uint8 = 1 << iota
+	p2pExplored
+	p2pSentUp
+	p2pResultSet
+)
 
 // p2pMachine is one node's state in the BFS-tree aggregate: the loop-local
-// variables of p2pProgram promoted to fields, stepped once per round.
+// variables of p2pProgram promoted to fields, stepped once per round. The
+// layout is compact (64 bytes) because at census scale the machines are the
+// engine's dominant per-node cost: child links are a bitmask over local
+// link indices — with a rare overflow list for links ≥ 64, allocated behind
+// a pointer only on nodes that need it — and the booleans pack into flags.
 type p2pMachine struct {
 	c  *sim.StepCtx
-	op Op
+	sh *p2pShared
 
 	partial     int64
-	adopted     bool
-	explored    bool
-	sentUp      bool
-	parentLink  int
-	acksPending int
-	childLinks  []int
-	reports     int
-
-	result    int64
-	resultSet bool
+	result      int64
+	childMask   uint64   // child links with local index < 64
+	childOver   *[]int32 // child links ≥ 64 (high-degree hubs), ascending
+	parentLink  int32
+	acksPending int32
+	reports     int32
+	childCount  int32
+	flags       uint8
 }
 
-func (m *p2pMachine) explore(skip map[int]bool) {
-	for l := 0; l < m.c.Degree(); l++ {
-		if !skip[l] {
-			m.c.Send(l, p2pExplore{})
-			m.acksPending++
+func (m *p2pMachine) addChild(l int) {
+	if l < 64 {
+		m.childMask |= uint64(1) << l
+	} else {
+		if m.childOver == nil {
+			m.childOver = new([]int32)
+		}
+		*m.childOver = append(*m.childOver, int32(l))
+	}
+	m.childCount++
+}
+
+// forEachChild visits the child links in ascending link order. The
+// goroutine form visits them in ack-arrival order instead; the difference
+// is unobservable (each child receives a single message, and inboxes are
+// sorted on delivery), so transcripts still match bit for bit.
+func (m *p2pMachine) forEachChild(f func(l int)) {
+	for mask := m.childMask; mask != 0; mask &= mask - 1 {
+		f(bits.TrailingZeros64(mask))
+	}
+	if m.childOver != nil {
+		for _, l := range *m.childOver {
+			f(int(l))
 		}
 	}
-	m.explored = true
+}
+
+// explore sends the BFS wavefront on every link except those named by the
+// skip set — a bitmask over links < 64 plus a map for a high-degree hub's
+// rest, so the common case stays allocation-free.
+func (m *p2pMachine) explore(skipMask uint64, skipBig map[int]bool) {
+	for l := 0; l < m.c.Degree(); l++ {
+		if l < 64 && skipMask&(uint64(1)<<l) != 0 {
+			continue
+		}
+		if l >= 64 && skipBig[l] {
+			continue
+		}
+		m.c.Send(l, p2pExplore{})
+		m.acksPending++
+	}
+	m.flags |= p2pExplored
 }
 
 func (m *p2pMachine) forward(v int64) {
-	for _, l := range m.childLinks {
-		m.c.Send(l, p2pResult{V: v})
+	// Open-coded mask walk: forEachChild's closure would be a per-call
+	// allocation on the one path every interior node runs.
+	for mask := m.childMask; mask != 0; mask &= mask - 1 {
+		m.c.Send(bits.TrailingZeros64(mask), p2pResult{V: v})
 	}
-	m.result, m.resultSet = v, true
+	if m.childOver != nil {
+		for _, l := range *m.childOver {
+			m.c.Send(int(l), p2pResult{V: v})
+		}
+	}
+	m.result = v
+	m.flags |= p2pResultSet
 }
 
 func (m *p2pMachine) Step(in sim.Input) bool {
 	if in.Round == 0 {
 		// The code p2pProgram runs before its first Tick.
 		if m.c.ID() == 0 {
-			m.explore(nil)
+			m.explore(0, nil)
 		}
 		return m.finishRound()
 	}
@@ -85,41 +154,47 @@ func (m *p2pMachine) Step(in sim.Input) bool {
 	// mandatory ack on the same link.
 	bestLink := -1
 	var bestFrom graph.NodeID
-	var exploredLinks map[int]bool
+	var skipMask uint64
+	var skipBig map[int]bool
 	for _, msg := range in.Msgs {
 		if _, ok := msg.Payload.(p2pExplore); ok {
 			l := m.c.LinkOf(msg.EdgeID)
-			if exploredLinks == nil {
-				exploredLinks = make(map[int]bool, 2)
+			if l < 64 {
+				skipMask |= uint64(1) << l
+			} else {
+				if skipBig == nil {
+					skipBig = make(map[int]bool, 2)
+				}
+				skipBig[l] = true
 			}
-			exploredLinks[l] = true
 			if bestLink == -1 || msg.From < bestFrom {
 				bestLink, bestFrom = l, msg.From
 			}
 		}
 	}
 	adoptedNow := false
-	if bestLink != -1 && !m.adopted {
-		m.adopted, adoptedNow = true, true
-		m.parentLink = bestLink
-		m.explore(exploredLinks)
+	if bestLink != -1 && m.flags&p2pAdopted == 0 {
+		m.flags |= p2pAdopted
+		adoptedNow = true
+		m.parentLink = int32(bestLink)
+		m.explore(skipMask, skipBig)
 	}
 	parentLinkBusy := false
 	for _, msg := range in.Msgs {
 		l := m.c.LinkOf(msg.EdgeID)
 		switch p := msg.Payload.(type) {
 		case p2pExplore:
-			m.c.Send(l, p2pAck{Child: adoptedNow && l == m.parentLink})
-			if l == m.parentLink {
+			m.c.Send(l, p2pAck{Child: adoptedNow && int32(l) == m.parentLink})
+			if int32(l) == m.parentLink {
 				parentLinkBusy = true
 			}
 		case p2pAck:
 			m.acksPending--
 			if p.Child {
-				m.childLinks = append(m.childLinks, l)
+				m.addChild(l)
 			}
 		case p2pValue:
-			m.partial = m.op.Combine(m.partial, p.V)
+			m.partial = m.sh.op.Combine(m.partial, p.V)
 			m.reports++
 		case p2pResult:
 			m.forward(p.V)
@@ -128,11 +203,11 @@ func (m *p2pMachine) Step(in sim.Input) bool {
 	// Convergecast once the child set is final and all children reported;
 	// wait a round if the ack already used the parent link.
 	if m.upReady() && !parentLinkBusy {
-		m.sentUp = true
+		m.flags |= p2pSentUp
 		if m.c.ID() == 0 {
 			m.forward(m.partial)
 		} else {
-			m.c.Send(m.parentLink, p2pValue{V: m.partial})
+			m.c.Send(int(m.parentLink), p2pValue{V: m.partial})
 		}
 	}
 	return m.finishRound()
@@ -141,14 +216,15 @@ func (m *p2pMachine) Step(in sim.Input) bool {
 // upReady reports whether the deferred convergecast send may fire — the one
 // state change that can happen in a round with no incoming messages.
 func (m *p2pMachine) upReady() bool {
-	return m.adopted && m.explored && m.acksPending == 0 && !m.sentUp &&
-		m.reports == len(m.childLinks)
+	return m.flags&p2pAdopted != 0 && m.flags&p2pExplored != 0 &&
+		m.acksPending == 0 && m.flags&p2pSentUp == 0 &&
+		m.reports == m.childCount
 }
 
 // finishRound evaluates p2pProgram's loop condition and parks the node
 // whenever only a message can change its state.
 func (m *p2pMachine) finishRound() bool {
-	if m.resultSet && m.acksPending == 0 {
+	if m.flags&p2pResultSet != 0 && m.acksPending == 0 {
 		return true
 	}
 	if !m.upReady() {
@@ -176,19 +252,24 @@ type p2pState struct {
 }
 
 // SnapshotState implements sim.Snapshotter: the returned state is a deep
-// copy, so the machine may keep mutating after capture.
+// copy, so the machine may keep mutating after capture. The wire struct
+// predates the bitmask layout (ChildLinks is a plain []int), keeping old
+// checkpoints restorable; the mask round-trips through it in ascending link
+// order, which is deterministic across worker counts.
 func (m *p2pMachine) SnapshotState() any {
+	var children []int
+	m.forEachChild(func(l int) { children = append(children, l) })
 	return p2pState{
 		Partial:     m.partial,
-		Adopted:     m.adopted,
-		Explored:    m.explored,
-		SentUp:      m.sentUp,
-		ParentLink:  m.parentLink,
-		AcksPending: m.acksPending,
-		ChildLinks:  slices.Clone(m.childLinks),
-		Reports:     m.reports,
+		Adopted:     m.flags&p2pAdopted != 0,
+		Explored:    m.flags&p2pExplored != 0,
+		SentUp:      m.flags&p2pSentUp != 0,
+		ParentLink:  int(m.parentLink),
+		AcksPending: int(m.acksPending),
+		ChildLinks:  children,
+		Reports:     int(m.reports),
 		Result:      m.result,
-		ResultSet:   m.resultSet,
+		ResultSet:   m.flags&p2pResultSet != 0,
 	}
 }
 
@@ -196,15 +277,27 @@ func (m *p2pMachine) SnapshotState() any {
 func (m *p2pMachine) RestoreState(state any) {
 	s := state.(p2pState)
 	m.partial = s.Partial
-	m.adopted = s.Adopted
-	m.explored = s.Explored
-	m.sentUp = s.SentUp
-	m.parentLink = s.ParentLink
-	m.acksPending = s.AcksPending
-	m.childLinks = slices.Clone(s.ChildLinks)
-	m.reports = s.Reports
+	m.flags = 0
+	if s.Adopted {
+		m.flags |= p2pAdopted
+	}
+	if s.Explored {
+		m.flags |= p2pExplored
+	}
+	if s.SentUp {
+		m.flags |= p2pSentUp
+	}
+	if s.ResultSet {
+		m.flags |= p2pResultSet
+	}
+	m.parentLink = int32(s.ParentLink)
+	m.acksPending = int32(s.AcksPending)
+	m.childMask, m.childOver, m.childCount = 0, nil, 0
+	for _, l := range s.ChildLinks {
+		m.addChild(l)
+	}
+	m.reports = int32(s.Reports)
 	m.result = s.Result
-	m.resultSet = s.ResultSet
 }
 
 func init() {

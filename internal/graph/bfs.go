@@ -23,12 +23,21 @@ func NewBFS(g Topology, root NodeID) *BFS {
 	}
 	b.Dist[root] = 0
 	queue := []NodeID{root}
-	var adj []Half // reused across nodes: implicit forms compute Adj per call
+	// The adjacency buffer is reused across nodes; implicit forms additionally
+	// need a caller-owned scratch or every AdjAppend call heap-allocates its
+	// neighbor staging buffer (≈0.5 KB/node at census scale).
+	var adj []Half
+	imp, _ := g.(*Implicit)
+	var scratch AdjScratch
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
 		b.Order = append(b.Order, v)
-		adj = g.AdjAppend(v, adj[:0])
+		if imp != nil {
+			adj = imp.AdjInto(v, adj[:0], &scratch)
+		} else {
+			adj = g.AdjAppend(v, adj[:0])
+		}
 		for _, h := range adj {
 			if b.Dist[h.To] == -1 {
 				b.Dist[h.To] = b.Dist[v] + 1

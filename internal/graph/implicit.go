@@ -74,6 +74,10 @@ func (t *Implicit) weightOf(v NodeID, b nbr) Weight {
 }
 
 // AdjAppend appends v's links, sorted by ascending weight, to buf.
+//
+// The stack neighbor buffer escapes through the nbrs closure call, so every
+// AdjAppend costs one small heap allocation; per-round engine paths use
+// AdjInto with a reused AdjScratch instead.
 func (t *Implicit) AdjAppend(v NodeID, buf []Half) []Half {
 	if v == t.hub {
 		return append(buf, t.hubAdj...)
@@ -81,6 +85,31 @@ func (t *Implicit) AdjAppend(v NodeID, buf []Half) []Half {
 	var arr [implicitStackDegree]nbr
 	start := len(buf)
 	for _, b := range t.nbrs(v, arr[:0]) {
+		buf = append(buf, Half{To: b.to, Weight: t.weightOf(v, b), EdgeID: int32(b.id)})
+	}
+	sortHalves(buf[start:])
+	return buf
+}
+
+// AdjScratch is reusable neighbor-computation scratch for AdjInto. The zero
+// value is ready; each AdjScratch may serve one goroutine at a time.
+type AdjScratch struct {
+	nbrs []nbr
+}
+
+// AdjInto is AdjAppend with caller-owned scratch: after the scratch's first
+// use (which sizes its buffer) the query allocates nothing, making it the
+// form per-round engine code can call steady-state.
+func (t *Implicit) AdjInto(v NodeID, buf []Half, scratch *AdjScratch) []Half {
+	if v == t.hub {
+		return append(buf, t.hubAdj...)
+	}
+	if scratch.nbrs == nil {
+		scratch.nbrs = make([]nbr, 0, implicitStackDegree)
+	}
+	scratch.nbrs = t.nbrs(v, scratch.nbrs[:0])
+	start := len(buf)
+	for _, b := range scratch.nbrs {
 		buf = append(buf, Half{To: b.to, Weight: t.weightOf(v, b), EdgeID: int32(b.id)})
 	}
 	sortHalves(buf[start:])

@@ -71,9 +71,11 @@ type mergeMachine struct {
 // mergeStepProgram builds the native machines for stages 2 and 3 of §6.
 func mergeStepProgram(f *forest.Forest, phasesOut *int) sim.StepProgram {
 	children := f.Children()
+	var slab sim.Slab[mergeMachine]
 	return func(c *sim.StepCtx) sim.Machine {
 		id := c.ID()
-		m := &mergeMachine{
+		m := slab.Alloc(c.N())
+		*m = mergeMachine{
 			c:         c,
 			f:         f,
 			kids:      children[id],

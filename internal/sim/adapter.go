@@ -25,17 +25,17 @@ func runStepAdapter(g graph.Topology, program Program, cfg config) (*Result, err
 	prog := func(sc *StepCtx) Machine {
 		ctx := newCtx(g, sc.id, cfg.seed)
 		// The engine owns the RNG derivation: a crash-restarted node's
-		// replacement StepCtx carries the incarnation's seed, which must
-		// reach the program's Ctx (for incarnation 0 the two agree).
-		ctx.rngSeed = sc.rngSeed
+		// program must see the incarnation's seed, not the original's
+		// (for incarnation 0 the two agree).
+		ctx.rngSeed = sc.eng.seedOf(sc.id)
 		return &goroutineMachine{sc: sc, ctx: ctx, program: program}
 	}
-	// Inbox buffers are not reused: legacy programs may hold an Input's
-	// Msgs across Tick, which the goroutine engine always allowed. The
-	// engine instead batches each round's deliveries into one fresh arena
-	// per shard (deliverArena), so the adapter path still costs O(1)
-	// allocations per shard per round rather than one per recipient.
-	return runStepEngine(g, prog, cfg, false)
+	// Adapter runs share the engine's recycled inbox arenas: an Input and
+	// its Msgs are valid only until the Tick that received them returns —
+	// the same ownership rule Machine.Step documents. Every program in this
+	// repo consumes its messages inside the round, and in exchange adapter
+	// delivery allocates nothing in steady state.
+	return runStepEngine(g, prog, cfg)
 }
 
 // goroutineMachine drives one legacy Program goroutine from Machine.Step.
@@ -60,15 +60,16 @@ func (m *goroutineMachine) Step(in Input) bool {
 	}
 	ticked := <-m.ctx.done
 
+	sd := m.sc.shard()
 	for _, o := range m.ctx.out {
 		// link -1: Ctx already enforced the one-send-per-link rule.
-		m.sc.out = append(m.sc.out, stagedSend{to: o.to, edgeID: int32(o.edgeID), link: -1, payload: o.payload})
+		sd.stage = append(sd.stage, stagedSend{to: o.to, edgeID: int32(o.edgeID), link: -1, payload: o.payload})
 	}
 	m.ctx.out = m.ctx.out[:0]
 	clear(m.ctx.sentLink)
 	if m.ctx.chPending {
-		m.sc.chPending = true
-		m.sc.chWrite = m.ctx.chWrite
+		sd.chPending = true
+		sd.chWrite = m.ctx.chWrite
 		m.ctx.chPending = false
 		m.ctx.chWrite = nil
 	}

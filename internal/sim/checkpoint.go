@@ -339,43 +339,47 @@ func (e *stepEngine) writeCheckpoint(round int) error {
 		cp.Slot.State = SlotIdle
 	}
 	for v := range e.nodes {
-		sc := &e.nodes[v]
+		fl := e.flags[v]
 		ns := &cp.Nodes[v]
-		ns.Halted = sc.halted
-		ns.Scheduled = sc.scheduled
-		ns.Asleep = sc.asleep
-		ns.PulseWake = sc.pulseWake
-		if sc.rngCS != nil {
-			ns.HasRNG = true
-			ns.RNGDraws = sc.rngCS.draws
+		ns.Halted = fl&flagHalted != 0
+		ns.Scheduled = fl&flagScheduled != 0
+		ns.Asleep = fl&flagAsleep != 0
+		ns.PulseWake = fl&flagPulseWake != 0
+		sd := e.shardOf(graph.NodeID(v))
+		if sd.rngDraws != nil {
+			if draws := sd.rngDraws[v-sd.lo]; draws > 0 {
+				ns.HasRNG = true
+				ns.RNGDraws = draws
+			}
 		}
-		if e.crashed != nil {
-			ns.Crashed = e.crashed[v]
+		if e.roundBase != nil {
+			ns.Crashed = fl&flagCrashed != 0
 			ns.Incarnation = int(e.incarn[v])
 			ns.RoundBase = int(e.roundBase[v])
 		}
-		ns.Result = sc.result
-		if sc.halted {
+		ns.Result = e.results[v]
+		if ns.Halted {
 			continue // dead machines are never stepped again; no state needed
 		}
-		if snap, ok := sc.machine.(Snapshotter); ok {
+		if snap, ok := e.machines[v].(Snapshotter); ok {
 			ns.HasState = true
 			ns.State = snap.SnapshotState()
 			continue
 		}
 		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(sc.machine); err != nil {
-			return fmt.Errorf("machine %T of node %d: not a sim.Snapshotter and the gob fallback failed: %w", sc.machine, v, err)
+		if err := gob.NewEncoder(&buf).Encode(e.machines[v]); err != nil {
+			return fmt.Errorf("machine %T of node %d: not a sim.Snapshotter and the gob fallback failed: %w", e.machines[v], v, err)
 		}
 		ns.GobState = buf.Bytes()
 	}
 	for v := range e.nodes {
-		if e.nodes[v].halted || len(e.inbox[v]) == 0 {
+		box := e.inboxOf(graph.NodeID(v))
+		if e.flags[v]&flagHalted != 0 || len(box) == 0 {
 			continue
 		}
 		cp.Inboxes = append(cp.Inboxes, InboxCheckpoint{
 			Node: graph.NodeID(v),
-			Msgs: slices.Clone(e.inbox[v]),
+			Msgs: slices.Clone(box),
 		})
 	}
 	for i := range e.shards {
@@ -432,41 +436,55 @@ func (e *stepEngine) restore(cp *Checkpoint) error {
 		e.shards[i].awake = e.shards[i].awake[:0]
 	}
 	for v := range cp.Nodes {
-		sc := &e.nodes[v]
+		id := graph.NodeID(v)
 		ns := &cp.Nodes[v]
-		sc.halted = ns.Halted
-		sc.scheduled = ns.Scheduled
-		sc.asleep = ns.Asleep
-		sc.pulseWake = ns.PulseWake
-		sc.result = ns.Result
-		if ns.Incarnation > 0 {
-			// The node restarted before the capture: its RNG stream is the
-			// incarnation's, not the original derivation's.
-			sc.rngSeed = nodeSeedAt(e.cfg.seed, sc.id, ns.Incarnation)
+		var fl uint8
+		if ns.Halted {
+			fl |= flagHalted
 		}
+		if ns.Scheduled {
+			fl |= flagScheduled
+		}
+		if ns.Asleep {
+			fl |= flagAsleep
+		}
+		if ns.PulseWake {
+			fl |= flagPulseWake
+		}
+		if ns.Crashed {
+			fl |= flagCrashed
+		}
+		e.flags[v] = fl
+		e.results[v] = ns.Result
 		if e.roundBase != nil {
-			e.crashed[v] = ns.Crashed
+			// Before the RNG restore: seedOf reads the incarnation.
 			e.incarn[v] = int32(ns.Incarnation)
 			e.roundBase[v] = int32(ns.RoundBase)
 		}
+		sd := &e.shards[v/e.shardSize]
 		if ns.HasRNG {
-			sc.rng, sc.rngCS = newNodeRand(sc.rngSeed, ns.RNGDraws)
+			if sd.rngWord == nil {
+				sd.ensureRNG()
+			}
+			// Position the raw stream directly: the state word after
+			// RNGDraws gamma steps from the incarnation's seed.
+			sd.rngWord[v-sd.lo] = rngWordAt(e.seedOf(id), ns.RNGDraws)
+			sd.rngDraws[v-sd.lo] = ns.RNGDraws
 		}
 		if !ns.Halted {
 			switch {
 			case ns.HasState:
-				snap, ok := sc.machine.(Snapshotter)
+				snap, ok := e.machines[v].(Snapshotter)
 				if !ok {
-					return fmt.Errorf("sim: checkpoint has Snapshotter state for node %d but machine %T does not implement it", v, sc.machine)
+					return fmt.Errorf("sim: checkpoint has Snapshotter state for node %d but machine %T does not implement it", v, e.machines[v])
 				}
 				snap.RestoreState(ns.State)
 			case len(ns.GobState) > 0:
-				if err := gob.NewDecoder(bytes.NewReader(ns.GobState)).Decode(sc.machine); err != nil {
-					return fmt.Errorf("sim: restore machine %T of node %d: %w", sc.machine, v, err)
+				if err := gob.NewDecoder(bytes.NewReader(ns.GobState)).Decode(e.machines[v]); err != nil {
+					return fmt.Errorf("sim: restore machine %T of node %d: %w", e.machines[v], v, err)
 				}
 			}
 		}
-		sd := &e.shards[v/e.shardSize]
 		if ns.Scheduled && !ns.Halted {
 			sd.awake = append(sd.awake, int32(v))
 		}
@@ -479,7 +497,13 @@ func (e *stepEngine) restore(cp *Checkpoint) error {
 		if int(ib.Node) < 0 || int(ib.Node) >= n {
 			return fmt.Errorf("sim: checkpoint inbox for node %d out of range", ib.Node)
 		}
-		e.inbox[ib.Node] = slices.Clone(ib.Msgs)
+		// Append the inbox into the owning shard's arena and record the
+		// window. Offsets survive arena reallocation (they are indices, not
+		// pointers), so plain appends are safe here.
+		sd := &e.shards[int(ib.Node)/e.shardSize]
+		e.inboxOff[ib.Node] = int32(len(sd.inboxArena))
+		e.inboxLen[ib.Node] = int32(len(ib.Msgs))
+		sd.inboxArena = append(sd.inboxArena, ib.Msgs...)
 	}
 	for i := range cp.Pending {
 		p := &cp.Pending[i]
@@ -525,7 +549,7 @@ func Resume(g graph.Topology, program StepProgram, cp *Checkpoint, opts ...Optio
 		cfg.faults = p
 	}
 	cfg.resume = cp
-	return runStepEngine(g, program, cfg, true)
+	return runStepEngine(g, program, cfg)
 }
 
 func init() {

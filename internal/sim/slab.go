@@ -1,0 +1,30 @@
+package sim
+
+// Slab is a bump allocator for per-node machine structs: a StepProgram
+// that allocates its machines through a Slab pays one n-sized allocation
+// for the whole network instead of one heap object (plus allocator
+// metadata) per node — at 10⁸ nodes the difference is the run fitting in
+// memory. The zero value is ready to use.
+//
+// The backing array is sized by the first Alloc and never grows: machines
+// are referenced through interface pointers into it, which a reallocation
+// would orphan. Allocations past the capacity — crash-restart revivals
+// re-running the init hook — fall back to individual heap objects. Alloc
+// returns zeroed memory; it is not safe for concurrent use, which matches
+// the init hook's sequential, coordinator-side contract.
+type Slab[T any] struct {
+	buf []T
+}
+
+// Alloc returns a pointer to a zeroed T, carving it from the slab while
+// capacity lasts. n sizes the slab on first use (pass the network size).
+func (s *Slab[T]) Alloc(n int) *T {
+	if s.buf == nil {
+		s.buf = make([]T, 0, max(n, 1))
+	}
+	if len(s.buf) < cap(s.buf) {
+		s.buf = s.buf[:len(s.buf)+1]
+		return &s.buf[len(s.buf)-1]
+	}
+	return new(T)
+}

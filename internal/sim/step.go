@@ -11,20 +11,45 @@ package sim
 //	         channel writes are staged into per-shard, per-destination-shard
 //	         outbox buckets (no locks, no per-node channel handoffs);
 //	deliver  each worker drains the buckets addressed to its shard into the
-//	         per-node inboxes, sorts multi-message inboxes by (sender, edge
-//	         id), and wakes sleeping recipients.
+//	         shard's inbox arena, sorts multi-message inboxes by (sender,
+//	         edge id), and wakes sleeping recipients.
 //
 // The phases are coordinated by a persistent-worker, sense-reversing atomic
 // barrier (gate.go): a phase transition costs a few atomics, not 2×shards
 // channel operations, and shards with nothing to do in a phase are skipped
-// by a shared need-check. All buffers (inboxes, outboxes, awake lists) are
-// reused across rounds, so a steady-state round allocates nothing beyond
+// by a shared need-check. All buffers (inbox arenas, outboxes, awake lists)
+// are reused across rounds, so a steady-state round allocates nothing beyond
 // what machines themselves allocate. Machines that have nothing to do until
 // a message arrives call StepCtx.Sleep; combined with the awake lists this
 // makes the per-round cost proportional to the number of active nodes, not
 // n. When every live node is parked the engine does not even spin empty
 // rounds: it fast-forwards straight to the next event that can wake a
 // machine (fastForward below), so fully quiescent stretches cost zero.
+//
+// # Memory layout
+//
+// Per-node bookkeeping is struct-of-arrays, sized for 10⁸-node censuses:
+// the engine holds one parallel array per field — a one-byte flags word
+// (asleep/pulseWake/scheduled/halted/crashed), the Machine interface, the
+// recorded result, and the (offset, length) of the node's window in its
+// shard's inbox arena — instead of a fat per-node struct. The StepCtx a
+// machine captures is a 16-byte handle (node id + engine pointer); every
+// StepCtx method resolves per-node state through the arrays. Round-scoped
+// scratch that the old layout kept per node (staged sends, the channel
+// write, the duplicate-send guard, the RNG generator, the high-degree
+// neighbor index, implicit-form adjacency) lives once per shard: shards are
+// single-threaded within a phase and machines step one at a time, so one
+// node's scratch can be recycled for the next. Per-node RNG state is the
+// raw SplitMix64 (state word, draw count) pair in two lazily allocated
+// per-shard arrays — see rng.go — not a boxed generator per node.
+//
+// Ownership rules this layout imposes (all were already part of the
+// documented Machine contract, now load-bearing): an Input and its Msgs are
+// valid only during the Step call they are passed to; the *rand.Rand
+// returned by StepCtx.Rand is valid only during the current Step (or init)
+// call and must be re-fetched each time, never stored; adjacency slices
+// returned by internal helpers are per-shard memos. The mmlint ctxescape
+// analyzer polices StepCtx-derived state escaping a machine.
 //
 // Determinism: machines are constructed and stepped against per-node state
 // only, per-node RNGs are derived exactly as in the goroutine engine, and
@@ -117,9 +142,9 @@ type Machine interface {
 // c.Rand.
 type StepProgram func(c *StepCtx) Machine
 
-// stagedSend is one queued point-to-point message in a StepCtx's outbox.
-// link is the sender-local link index (used to reset the duplicate-send
-// guard) or -1 for messages staged by the goroutine adapter, which has
+// stagedSend is one queued point-to-point message in a shard's staging
+// buffer. link is the sender-local link index (used to reset the duplicate-
+// send guard) or -1 for messages staged by the goroutine adapter, which has
 // already enforced the model's one-send-per-link rule in Ctx.
 type stagedSend struct {
 	to      graph.NodeID
@@ -136,39 +161,33 @@ type delivered struct {
 	payload Payload
 }
 
-// peerLink is one entry of a node's lazily built neighbor index, sorted by
+// peerLink is one entry of a shard's high-degree neighbor index, sorted by
 // peer id for binary search.
 type peerLink struct {
 	peer graph.NodeID
 	link int32
 }
 
+// Per-node scheduler flags, packed into one byte of stepEngine.flags.
+const (
+	flagAsleep    uint8 = 1 << iota // set by Sleep, cleared before every Step
+	flagPulseWake                   // set by SleepUntilPulse: also wake on an idle slot
+	flagScheduled                   // already on some shard's awake list for the next round
+	flagHalted
+	flagCrashed // fault-crashed (revivable by a restart rule), not a normal halt
+)
+
 // StepCtx is a node's handle to the network under the step engine: the same
 // API surface as Ctx minus Tick (the engine calls Machine.Step instead),
-// plus Sleep. All methods must be called only from the node's Machine
-// during Step (or from its StepProgram during construction, for the
-// read-only ones). Methods panic on model violations; a panic aborts the
-// run with an error naming the node.
+// plus Sleep. It is a 16-byte (id, engine) pair — all per-node state lives
+// in the engine's parallel arrays and the shard's scratch. All methods must
+// be called only from the node's Machine during Step (or from its
+// StepProgram during construction, for the read-only ones). Methods panic
+// on model violations; a panic aborts the run with an error naming the
+// node.
 type StepCtx struct {
-	id      graph.NodeID
-	eng     *stepEngine
-	rng     *rand.Rand
-	rngCS   *countedSource // rng's draw-counting source (checkpoint position)
-	rngSeed int64
-
-	round     int
-	out       []stagedSend
-	chWrite   Payload
-	chPending bool
-
-	asleep    bool // set by Sleep, cleared before every Step
-	pulseWake bool // set by SleepUntilPulse: also wake on an idle slot
-	scheduled bool // already on some shard's awake list for the next round
-	halted    bool
-	machine   Machine
-	result    any
-
-	peerIdx []peerLink // lazy neighbor index for O(log d) Link on big nodes
+	id  graph.NodeID
+	eng *stepEngine
 }
 
 // ID returns this node's identifier.
@@ -179,6 +198,16 @@ func (c *StepCtx) N() int { return c.eng.topo.N() }
 
 // Topo returns the immutable network topology.
 func (c *StepCtx) Topo() graph.Topology { return c.eng.topo }
+
+// shard returns the shard owning this node. Per-node round scratch (staged
+// sends, the RNG generator, adjacency memos) lives there: a shard steps its
+// machines one at a time, so the scratch is exclusively the current node's
+// for the duration of its Step.
+//
+//mmlint:noalloc
+func (c *StepCtx) shard() *stepShard {
+	return &c.eng.shards[int(c.id)/c.eng.shardSize]
+}
 
 // Adj returns this node's incident links sorted by ascending weight. On an
 // implicit topology every call computes (and allocates) the list; machines
@@ -199,22 +228,43 @@ func (c *StepCtx) Degree() int {
 	return c.eng.topo.Degree(c.id)
 }
 
-// Round returns the current round number.
-func (c *StepCtx) Round() int { return c.round }
+// Round returns the current round number (a restarted incarnation counts
+// from its revival).
+func (c *StepCtx) Round() int {
+	r := c.eng.round
+	if rb := c.eng.roundBase; rb != nil {
+		r -= int(rb[c.id])
+	}
+	return r
+}
 
 // Rand returns this node's private deterministic RNG, derived from the
-// master seed exactly as in the goroutine engine and created lazily. The
-// source counts its draws, so the generator's position is checkpointable.
+// master seed exactly as in the goroutine engine. The generator is a shard-
+// shared rand.Rand over the node's (state word, draw count) slot in the
+// shard's RNG arrays — two words per node instead of a boxed generator —
+// so the returned value is positioned for this node only until Step
+// returns: re-fetch it every call, never store it.
 func (c *StepCtx) Rand() *rand.Rand {
-	if c.rng == nil {
-		c.rng, c.rngCS = newNodeRand(c.rngSeed, 0)
+	sd := c.shard()
+	if sd.rngWord == nil {
+		sd.ensureRNG()
 	}
-	return c.rng
+	i := int(c.id) - sd.lo
+	if sd.rngDraws[i] == 0 {
+		// Position 0: (re)derive the stream head from the node's seed. The
+		// derivation is idempotent, so repeating it before the first draw —
+		// or after a restart reset the slot — lands on the same word.
+		sd.rngWord[i] = uint64(c.eng.seedOf(c.id))
+	}
+	sd.rngSrc.i = i
+	return sd.rng
 }
 
 // LinkOf returns the local link index of the given edge id. The stored
-// form answers from the engine's O(m) edge index; implicit forms compute
-// the rank of the edge's weight among the node's links in O(degree).
+// form answers from the engine's O(m) edge index; implicit forms answer
+// from the shard's adjacency memo — a linear scan, or a weight-keyed binary
+// search at high degree — so a node resolving its whole inbox pays one memo
+// fill, not one allocating topology query per message.
 func (c *StepCtx) LinkOf(edgeID int) int {
 	if la := c.eng.linkAt; la != nil {
 		e := c.eng.mat.Edge(edgeID)
@@ -227,11 +277,25 @@ func (c *StepCtx) LinkOf(edgeID int) int {
 			panic(fmt.Sprintf("sim: node %d has no link with edge id %d", c.id, edgeID))
 		}
 	}
-	l, ok := c.eng.topo.LinkIndex(c.id, edgeID)
-	if !ok {
+	adj := c.eng.shardAdj(c.shard(), c.id)
+	if len(adj) >= linkIndexThreshold && edgeID >= 0 && edgeID < c.eng.topo.M() {
+		// Adjacency is sorted by ascending weight: binary-search the edge's
+		// weight, then walk any equal-weight run for the id itself.
+		w := c.eng.topo.Edge(edgeID).Weight
+		i, _ := slices.BinarySearchFunc(adj, w, func(h graph.Half, t graph.Weight) int { return cmp.Compare(h.Weight, t) })
+		for ; i < len(adj) && adj[i].Weight == w; i++ {
+			if adj[i].EdgeID == int32(edgeID) {
+				return i
+			}
+		}
 		panic(fmt.Sprintf("sim: node %d has no link with edge id %d", c.id, edgeID))
 	}
-	return l
+	for l := range adj {
+		if adj[l].EdgeID == int32(edgeID) {
+			return l
+		}
+	}
+	panic(fmt.Sprintf("sim: node %d has no link with edge id %d", c.id, edgeID))
 }
 
 // linkIndexThreshold: below this degree a linear Adj scan beats building
@@ -239,11 +303,12 @@ func (c *StepCtx) LinkOf(edgeID int) int {
 const linkIndexThreshold = 16
 
 // Link returns the local link index leading to the given neighbor. For
-// high-degree nodes the lookup is O(log d) through a lazily built sorted
-// index (a star hub answering n-1 SendTo calls used to pay a linear Adj
-// scan each, making the round quadratic).
+// high-degree nodes the lookup is O(log d) through a sorted neighbor index
+// cached in the shard (one index, keyed by the node that built it — a star
+// hub answering n-1 SendTo calls rebuilds it at most once per round).
 func (c *StepCtx) Link(to graph.NodeID) (int, bool) {
 	d := c.Degree()
+	sd := c.shard()
 	if d < linkIndexThreshold {
 		if g := c.eng.mat; g != nil {
 			for l, h := range g.Adj(c.id) {
@@ -253,33 +318,39 @@ func (c *StepCtx) Link(to graph.NodeID) (int, bool) {
 			}
 			return 0, false
 		}
-		var arr [linkIndexThreshold]graph.Half
-		for l, h := range c.eng.topo.AdjAppend(c.id, arr[:0]) {
+		for l, h := range c.eng.shardAdj(sd, c.id) {
 			if h.To == to {
 				return l, true
 			}
 		}
 		return 0, false
 	}
-	if c.peerIdx == nil {
-		adj := c.Adj()
-		c.peerIdx = make([]peerLink, len(adj))
-		for l, h := range adj {
-			c.peerIdx[l] = peerLink{peer: h.To, link: int32(l)}
+	if sd.idxNode != int32(c.id) {
+		var adj []graph.Half
+		if g := c.eng.mat; g != nil {
+			adj = g.Adj(c.id)
+		} else {
+			adj = c.eng.shardAdj(sd, c.id)
 		}
-		slices.SortFunc(c.peerIdx, func(a, b peerLink) int { return cmp.Compare(a.peer, b.peer) })
+		sd.peerIdx = sd.peerIdx[:0]
+		for l, h := range adj {
+			sd.peerIdx = append(sd.peerIdx, peerLink{peer: h.To, link: int32(l)})
+		}
+		slices.SortFunc(sd.peerIdx, func(a, b peerLink) int { return cmp.Compare(a.peer, b.peer) })
+		sd.idxNode = int32(c.id)
 	}
-	i, ok := slices.BinarySearchFunc(c.peerIdx, to, func(e peerLink, t graph.NodeID) int { return cmp.Compare(e.peer, t) })
+	i, ok := slices.BinarySearchFunc(sd.peerIdx, to, func(e peerLink, t graph.NodeID) int { return cmp.Compare(e.peer, t) })
 	if !ok {
 		return 0, false
 	}
-	return int(c.peerIdx[i].link), true
+	return int(sd.peerIdx[i].link), true
 }
 
 // Send queues a message on the link with the given local index for delivery
 // at the start of the next round. At most one message may be sent per link
 // per round.
 func (c *StepCtx) Send(link int, p Payload) {
+	sd := c.shard()
 	var h graph.Half
 	if g := c.eng.mat; g != nil {
 		adj := g.Adj(c.id)
@@ -288,17 +359,21 @@ func (c *StepCtx) Send(link int, p Payload) {
 		}
 		h = adj[link]
 	} else {
-		if d := c.eng.topo.Degree(c.id); link < 0 || link >= d {
-			panic(fmt.Sprintf("sim: node %d send on link %d of %d", c.id, link, d))
+		adj := c.eng.shardAdj(sd, c.id)
+		if link < 0 || link >= len(adj) {
+			panic(fmt.Sprintf("sim: node %d send on link %d of %d", c.id, link, len(adj)))
 		}
-		h = c.eng.topo.HalfAt(c.id, link)
+		h = adj[link]
 	}
-	idx := c.eng.sentOff[c.id] + link
-	if c.eng.sentFlags[idx] {
-		panic(fmt.Sprintf("sim: node %d sent twice on edge %d in round %d", c.id, h.EdgeID, c.round))
+	w, bit := link>>6, uint64(1)<<(link&63)
+	if w >= len(sd.sentBits) {
+		sd.growSentBits(w)
 	}
-	c.eng.sentFlags[idx] = true
-	c.out = append(c.out, stagedSend{to: h.To, edgeID: int32(h.EdgeID), link: int32(link), payload: p})
+	if sd.sentBits[w]&bit != 0 {
+		panic(fmt.Sprintf("sim: node %d sent twice on edge %d in round %d", c.id, h.EdgeID, c.Round()))
+	}
+	sd.sentBits[w] |= bit
+	sd.stage = append(sd.stage, stagedSend{to: h.To, edgeID: int32(h.EdgeID), link: int32(link), payload: p})
 }
 
 // SendTo queues a message to the given neighbor.
@@ -313,11 +388,12 @@ func (c *StepCtx) SendTo(to graph.NodeID, p Payload) {
 // Broadcast writes p to the current channel slot. At most one write per
 // round; the slot resolves to success only if this node is the sole writer.
 func (c *StepCtx) Broadcast(p Payload) {
-	if c.chPending {
-		panic(fmt.Sprintf("sim: node %d wrote the channel twice in round %d", c.id, c.round))
+	sd := c.shard()
+	if sd.chPending {
+		panic(fmt.Sprintf("sim: node %d wrote the channel twice in round %d", c.id, c.Round()))
 	}
-	c.chPending = true
-	c.chWrite = p
+	sd.chPending = true
+	sd.chWrite = p
 }
 
 // Busy transmits a busy tone on the channel this round (§7.1 barrier).
@@ -325,7 +401,7 @@ func (c *StepCtx) Busy() { c.Broadcast(BusyTone{}) }
 
 // SentThisRound reports whether this node queued any point-to-point message
 // in the current round.
-func (c *StepCtx) SentThisRound() bool { return len(c.out) > 0 }
+func (c *StepCtx) SentThisRound() bool { return len(c.shard().stage) > 0 }
 
 // Sleep parks this node after the current Step returns: the engine skips it
 // every round until a message arrives, at which point it is woken and
@@ -334,7 +410,7 @@ func (c *StepCtx) SentThisRound() bool { return len(c.out) > 0 }
 // what makes wavefront protocols on million-node graphs cost O(work), not
 // O(n·rounds). Sleeping with no message ever due wedges the protocol; the
 // engine detects the fully quiescent case and fails the run.
-func (c *StepCtx) Sleep() { c.asleep = true }
+func (c *StepCtx) Sleep() { c.eng.flags[c.id] |= flagAsleep }
 
 // SleepUntilPulse parks this node like Sleep, but additionally wakes it on
 // the barrier pulse: the first round whose input carries an idle slot
@@ -345,7 +421,7 @@ func (c *StepCtx) Sleep() { c.asleep = true }
 // turns O(n · rounds) barrier phases into O(work). A node woken by a message
 // before the pulse is stepped normally; if it parks again it must call
 // SleepUntilPulse again.
-func (c *StepCtx) SleepUntilPulse() { c.asleep = true; c.pulseWake = true }
+func (c *StepCtx) SleepUntilPulse() { c.eng.flags[c.id] |= flagAsleep | flagPulseWake }
 
 // failError carries a protocol-level failure out of a Machine via panic;
 // the engine records it verbatim instead of as a node panic.
@@ -361,8 +437,33 @@ func (c *StepCtx) Failf(format string, args ...any) {
 // aborts a run with live nodes (the goroutine adapter's blocked programs).
 type aborter interface{ abortRun() }
 
+// shardRNG adapts one node's (word, draws) slot in the shard's RNG arrays
+// to rand.Source64; StepCtx.Rand points i at the calling node. The
+// arithmetic matches countedSource exactly (rng.go), which the determinism
+// contract and checkpoint resume both lean on.
+type shardRNG struct {
+	sd *stepShard
+	i  int
+}
+
+//mmlint:noalloc
+func (s *shardRNG) Uint64() uint64 {
+	w := s.sd.rngWord[s.i] + splitmixGamma
+	s.sd.rngWord[s.i] = w
+	s.sd.rngDraws[s.i]++
+	return splitmix64(w)
+}
+
+//mmlint:noalloc
+func (s *shardRNG) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *shardRNG) Seed(int64) {
+	panic("sim: node RNG streams are derived, not reseedable")
+}
+
 // stepShard is one contiguous slice of the node range plus every per-shard
-// buffer the two phases reuse round after round.
+// buffer the two phases reuse round after round, including the scratch the
+// node currently stepping stages into.
 type stepShard struct {
 	lo, hi int
 
@@ -386,10 +487,37 @@ type stepShard struct {
 	pendingN    int
 	pendingFree [][]delivered
 
-	// Scratch for the arena delivery path (adapter runs): the round's
-	// surviving messages in arrival order, and per-node counts/offsets.
-	arrivals []delivered
-	counts   []int32
+	// Delivery scratch: the round's surviving messages in arrival order,
+	// per-node counts/offsets, and the arena the inbox windows are carved
+	// from — all reused round after round.
+	arrivals   []delivered
+	counts     []int32
+	inboxArena []Message
+
+	// Staging scratch for the node currently stepping: its queued sends,
+	// channel write, and per-link duplicate-send bitmap (cleared link by
+	// link when the node commits).
+	stage     []stagedSend
+	chPending bool
+	chWrite   Payload
+	sentBits  []uint64
+
+	// Per-node RNG state — SplitMix64 (word, draws) pairs indexed by
+	// node-lo — and the shard-shared generator over it, all allocated on
+	// the shard's first Rand call.
+	rngWord  []uint64
+	rngDraws []uint64
+	rngSrc   shardRNG
+	rng      *rand.Rand
+
+	// Single-entry caches keyed by node id: the high-degree neighbor index
+	// (Link) and the implicit-form adjacency memo (Send/Link/LinkOf), each
+	// rebuilt only when a different node of the shard needs it.
+	idxNode    int32
+	peerIdx    []peerLink
+	memoNode   int32
+	memoAdj    []graph.Half
+	adjScratch graph.AdjScratch
 
 	writers       int
 	writerID      graph.NodeID
@@ -404,6 +532,36 @@ type stepShard struct {
 	skewed        int64
 }
 
+// ensureRNG allocates the shard's RNG arrays and shared generator; called
+// once per shard, on its first Rand.
+func (sd *stepShard) ensureRNG() {
+	sd.rngWord = make([]uint64, sd.hi-sd.lo)
+	sd.rngDraws = make([]uint64, sd.hi-sd.lo)
+	sd.rngSrc = shardRNG{sd: sd}
+	sd.rng = rand.New(&sd.rngSrc)
+}
+
+// growSentBits extends the duplicate-send bitmap to cover word index w;
+// amortized over the run it allocates O(log maxDegree) times.
+func (sd *stepShard) growSentBits(w int) {
+	for w >= len(sd.sentBits) {
+		sd.sentBits = append(sd.sentBits, 0)
+	}
+}
+
+// arenaFor returns the shard's inbox arena resized to n messages, dropping
+// the previous round's payload references. Elements beyond len are kept
+// zero, so growing within capacity exposes only cleared slots.
+func (sd *stepShard) arenaFor(n int) []Message {
+	if cap(sd.inboxArena) < n {
+		sd.inboxArena = make([]Message, n)
+		return sd.inboxArena
+	}
+	clear(sd.inboxArena)
+	sd.inboxArena = sd.inboxArena[:n]
+	return sd.inboxArena
+}
+
 const (
 	phaseStep int8 = iota + 1
 	phaseDeliver
@@ -414,32 +572,34 @@ const (
 
 type stepEngine struct {
 	topo    graph.Topology
-	mat     *graph.Graph // topo's stored form, or nil — gates the O(m) fast-path indexes
+	mat     *graph.Graph    // topo's stored form, or nil — gates the O(m) fast-path indexes
+	imp     *graph.Implicit // topo's implicit form, or nil — gates scratch-reusing adjacency
 	cfg     config
 	program StepProgram       // the init hook, kept for crash-restart revival
 	inj     *fault.Injector   // nil for fault-free runs
 	rec     Recorder          // nil = observability off (the zero-cost path)
 	tw      *TranscriptWriter // nil = transcripts off; emission is coordinator-only
 	ck      *ckptState        // nil = checkpoints off
-	reuse   bool              // reuse inbox buffers (native runs; the adapter reallocates)
 
 	topoDigest uint64 // lazy topologyDigest cache (0 = not yet computed)
 
-	nodes []StepCtx
-	inbox [][]Message
+	// Struct-of-arrays node state: one parallel array per field, indexed by
+	// node id. nodes holds the 16-byte StepCtx handles machines capture.
+	nodes    []StepCtx
+	flags    []uint8
+	machines []Machine
+	results  []any
+	inboxOff []int32 // window into the owning shard's inbox arena
+	inboxLen []int32
 
-	// Crash-restart state, allocated only when the plan has restart rules.
-	// crashed marks fault-crashed (revivable) nodes — a node that halted
-	// normally is not revivable; roundBase is the global round a node's
-	// current incarnation joined at (its local round 0); incarn counts
-	// restarts, keying the incarnation's RNG stream.
-	crashed   []bool
+	// Crash-restart state, allocated only when the plan has restart rules
+	// (the crashed mark itself lives in flags). roundBase is the global
+	// round a node's current incarnation joined at (its local round 0);
+	// incarn counts restarts, keying the incarnation's RNG stream.
 	roundBase []int32
 	incarn    []int32
 
-	linkAt    [][2]int32 // edge id -> local link index at (U, V); stored form only
-	sentOff   []int      // per-node offset into sentFlags
-	sentFlags []bool     // one duplicate-send guard per directed half-edge
+	linkAt [][2]int32 // edge id -> local link index at (U, V); stored form only
 
 	shards    []stepShard
 	shardSize int
@@ -459,6 +619,60 @@ type stepEngine struct {
 	gate *phaseGate // nil when single-worker
 }
 
+// shardOf returns the shard owning node v.
+//
+//mmlint:noalloc
+func (e *stepEngine) shardOf(v graph.NodeID) *stepShard {
+	return &e.shards[int(v)/e.shardSize]
+}
+
+// seedOf derives node v's current RNG seed: the master derivation, or the
+// incarnation's for a restarted node.
+//
+//mmlint:noalloc
+func (e *stepEngine) seedOf(v graph.NodeID) int64 {
+	if e.incarn != nil && e.incarn[v] > 0 {
+		return nodeSeedAt(e.cfg.seed, v, int(e.incarn[v]))
+	}
+	return nodeSeed(e.cfg.seed, v)
+}
+
+// inboxOf returns node v's undelivered inbox: its window of the owning
+// shard's arena. The full slice expression caps the window, so a program
+// appending to an Input's Msgs reallocates instead of bleeding into the
+// next recipient's window.
+//
+//mmlint:noalloc
+func (e *stepEngine) inboxOf(v graph.NodeID) []Message {
+	l := e.inboxLen[v]
+	if l == 0 {
+		return nil
+	}
+	sd := e.shardOf(v)
+	off := e.inboxOff[v]
+	return sd.inboxArena[off : off+l : off+l]
+}
+
+// shardAdj returns id's adjacency through the shard's single-entry memo —
+// the implicit-form counterpart of the stored form's g.Adj, materializing
+// AdjAppend once per (shard, node) occupancy instead of once per Send.
+//
+//mmlint:noalloc
+func (e *stepEngine) shardAdj(sd *stepShard, id graph.NodeID) []graph.Half {
+	if sd.memoNode == int32(id) {
+		return sd.memoAdj
+	}
+	if e.imp != nil {
+		// The scratch-reusing form: after each buffer's first sizing, a memo
+		// rebuild allocates nothing.
+		sd.memoAdj = e.imp.AdjInto(id, sd.memoAdj[:0], &sd.adjScratch)
+	} else {
+		sd.memoAdj = e.topo.AdjAppend(id, sd.memoAdj[:0])
+	}
+	sd.memoNode = int32(id)
+	return sd.memoAdj
+}
+
 // disableFastForward forces the per-round path through quiescent stretches;
 // tests flip it to check the fast-forward arithmetic differentially.
 var disableFastForward bool
@@ -475,13 +689,13 @@ func RunStep(g graph.Topology, program StepProgram, opts ...Option) (*Result, er
 		o(&cfg)
 	}
 	cfg.resolveMaxRounds(g)
-	return runStepEngine(g, program, cfg, true)
+	return runStepEngine(g, program, cfg)
 }
 
 // runStepEngine builds the engine, applies a resume checkpoint when one is
 // configured, and runs the round loop from the appropriate round.
-func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInboxes bool) (*Result, error) {
-	e, err := newStepEngine(g, program, cfg, reuseInboxes)
+func runStepEngine(g graph.Topology, program StepProgram, cfg config) (*Result, error) {
+	e, err := newStepEngine(g, program, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -497,7 +711,7 @@ func runStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 
 // newStepEngine compiles the fault plan, sizes the shards, and runs the
 // init hook — everything up to (but not including) round 0.
-func newStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInboxes bool) (*stepEngine, error) {
+func newStepEngine(g graph.Topology, program StepProgram, cfg config) (*stepEngine, error) {
 	inj, err := fault.CompileFor(cfg.plan(), g, cfg.caps())
 	if err != nil {
 		return nil, err
@@ -519,39 +733,36 @@ func newStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 	}
 
 	mat, _ := g.(*graph.Graph)
+	imp, _ := g.(*graph.Implicit)
 	e := &stepEngine{
-		topo:    g,
-		mat:     mat,
-		cfg:     cfg,
-		program: program,
-		inj:     inj,
-		rec:     cfg.recorder(),
-		tw:      cfg.transcript(),
-		reuse:   reuseInboxes,
-		nodes:   make([]StepCtx, n),
-		inbox:   make([][]Message, n),
-		sentOff: make([]int, n),
-		workers: workers,
-		alive:   n,
+		topo:     g,
+		mat:      mat,
+		imp:      imp,
+		cfg:      cfg,
+		program:  program,
+		inj:      inj,
+		rec:      cfg.recorder(),
+		tw:       cfg.transcript(),
+		nodes:    make([]StepCtx, n),
+		flags:    make([]uint8, n),
+		machines: make([]Machine, n),
+		results:  make([]any, n),
+		inboxOff: make([]int32, n),
+		inboxLen: make([]int32, n),
+		workers:  workers,
+		alive:    n,
 	}
 	if inj.HasRestarts() {
-		e.crashed = make([]bool, n)
 		e.roundBase = make([]int32, n)
 		e.incarn = make([]int32, n)
 	}
 	if cfg.ckpt != nil {
 		e.ck = newCkptState(cfg.ckpt)
 	}
-	off := 0
-	for v := 0; v < n; v++ {
-		e.sentOff[v] = off
-		off += g.Degree(graph.NodeID(v))
-	}
-	e.sentFlags = make([]bool, off)
 	if mat != nil {
 		// Stored form: build the O(m) edge→link index LinkOf answers from.
 		// Implicit forms skip it (LinkIndex computes per query), keeping the
-		// engine's footprint independent of m beyond the send guards.
+		// engine's footprint independent of m.
 		e.linkAt = make([][2]int32, mat.M())
 		for v := 0; v < n; v++ {
 			id := graph.NodeID(v)
@@ -574,6 +785,7 @@ func newStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		s.hi = min(s.lo+e.shardSize, n)
 		s.out = make([][]delivered, shardCount)
 		s.awake = make([]int32, 0, s.hi-s.lo)
+		s.idxNode, s.memoNode = -1, -1
 		for v := s.lo; v < s.hi; v++ {
 			s.awake = append(s.awake, int32(v))
 		}
@@ -584,21 +796,23 @@ func newStepEngine(g graph.Topology, program StepProgram, cfg config, reuseInbox
 		sc := &e.nodes[v]
 		sc.id = graph.NodeID(v)
 		sc.eng = e
-		sc.rngSeed = nodeSeed(cfg.seed, graph.NodeID(v))
-		sc.scheduled = true
+		e.flags[v] = flagScheduled
 		if err := func() (err error) {
 			defer func() {
 				if r := recover(); r != nil {
 					err = nodeFailure(sc.id, r)
 				}
 			}()
-			sc.machine = program(sc)
+			e.machines[v] = program(sc)
 			return nil
 		}(); err != nil {
 			return nil, err
 		}
-		if sc.machine == nil {
+		if e.machines[v] == nil {
 			return nil, fmt.Errorf("sim: step program returned a nil machine for node %d", sc.id)
+		}
+		if sd := sc.shard(); len(sd.stage) > 0 || sd.chPending {
+			return nil, fmt.Errorf("sim: step program for node %d sent or wrote the channel during init", sc.id)
 		}
 	}
 	return e, nil
@@ -638,7 +852,7 @@ func (e *stepEngine) run(start int) (res *Result, err error) {
 		// (a checkpoint at the restart round records the pre-restart state,
 		// so a resume re-applies the restart deterministically) and are not
 		// gated on round > start for the same reason.
-		if e.crashed != nil {
+		if e.roundBase != nil {
 			e.reviveRestarts(round)
 		}
 		stepped = stepped[:0]
@@ -688,22 +902,18 @@ func (e *stepEngine) run(start int) (res *Result, err error) {
 		// Their round-round sends (staged above) are still delivered;
 		// messages addressed to them join the halted-drop count.
 		for _, v := range e.inj.CrashesAt(round + 1) {
-			sc := &e.nodes[v]
-			if sc.halted {
+			if e.flags[v]&flagHalted != 0 {
 				continue
 			}
 			// A crash-stopped node records no result — it never reached its
 			// halt — except through the goroutine adapter, whose program may
 			// have called SetResult before the crash (the goroutine engine
 			// keeps that partial value, so the adapter must too).
-			if ab, ok := sc.machine.(aborter); ok {
+			if ab, ok := e.machines[v].(aborter); ok {
 				ab.abortRun()
-				sc.result = sc.machine.Result()
+				e.results[v] = e.machines[v].Result()
 			}
-			sc.halted = true
-			if e.crashed != nil {
-				e.crashed[v] = true
-			}
+			e.flags[v] |= flagHalted | flagCrashed
 			e.alive--
 			e.met.Crashed++
 		}
@@ -772,9 +982,7 @@ func (e *stepEngine) run(start int) (res *Result, err error) {
 		rec.RunEnd(&e.met)
 	}
 	res = &Result{Metrics: e.met, Results: make([]any, n)}
-	for v := range e.nodes {
-		res.Results[v] = e.nodes[v].result
-	}
+	copy(res.Results, e.results)
 	if tw := e.tw; tw != nil {
 		tw.finalFrame(&e.met, res.Results, e.err())
 	}
@@ -792,40 +1000,42 @@ func (e *stepEngine) run(start int) (res *Result, err error) {
 // node that halted normally stays halted.
 func (e *stepEngine) reviveRestarts(round int) {
 	for _, v := range e.inj.RestartsAt(round) {
-		sc := &e.nodes[v]
-		if !sc.halted || !e.crashed[v] {
+		fl := e.flags[v]
+		if fl&flagHalted == 0 || fl&flagCrashed == 0 {
 			continue
 		}
-		e.crashed[v] = false
 		e.incarn[v]++
 		e.roundBase[v] = int32(round)
-		*sc = StepCtx{id: graph.NodeID(v), eng: e, scheduled: true}
-		sc.rngSeed = nodeSeedAt(e.cfg.seed, sc.id, int(e.incarn[v]))
-		if e.reuse {
-			e.inbox[v] = e.inbox[v][:0]
-		} else {
-			e.inbox[v] = nil
+		e.flags[v] = flagScheduled
+		e.results[v] = nil
+		e.inboxLen[v] = 0
+		sd := e.shardOf(graph.NodeID(v))
+		if sd.rngDraws != nil {
+			// Reset the stream to position 0; the next Rand derives the
+			// incarnation's seed (incarn is already bumped).
+			i := int(v) - sd.lo
+			sd.rngWord[i], sd.rngDraws[i] = 0, 0
 		}
+		sc := &e.nodes[v]
 		if err := func() (err error) {
 			defer func() {
 				if r := recover(); r != nil {
 					err = nodeFailure(sc.id, r)
 				}
 			}()
-			sc.machine = e.program(sc)
+			e.machines[v] = e.program(sc)
 			return nil
 		}(); err != nil {
 			e.recordErr(sc.id, err)
-			sc.halted = true
+			e.flags[v] = flagHalted
 			continue
 		}
-		if sc.machine == nil {
+		if e.machines[v] == nil {
 			e.recordErr(sc.id, fmt.Errorf("sim: step program returned a nil machine for node %d", sc.id))
-			sc.halted = true
+			e.flags[v] = flagHalted
 			continue
 		}
-		si := int(v) / e.shardSize
-		e.shards[si].awake = append(e.shards[si].awake, int32(v))
+		sd.awake = append(sd.awake, int32(v))
 		e.alive++
 		e.met.Restarted++
 	}
@@ -853,7 +1063,7 @@ func (e *stepEngine) emitRound(round int) {
 	slices.Sort(tw.touched)
 	f.Nodes = tw.nodes[:0]
 	for _, v := range tw.touched {
-		box := e.inbox[v]
+		box := e.inboxOf(graph.NodeID(v))
 		if len(box) == 0 {
 			continue
 		}
@@ -988,8 +1198,7 @@ func (e *stepEngine) hasPulseSleepers() bool {
 		}
 		kept := s.pulseSleepers[:0]
 		for _, v := range s.pulseSleepers {
-			sc := &e.nodes[v]
-			if !sc.halted && sc.pulseWake {
+			if fl := e.flags[v]; fl&flagHalted == 0 && fl&flagPulseWake != 0 {
 				kept = append(kept, v)
 			}
 		}
@@ -1169,17 +1378,13 @@ func (e *stepEngine) stepNodes(s *stepShard, start int) (next int) {
 	i := start
 	defer func() {
 		if r := recover(); r != nil {
-			sc := &e.nodes[s.awake[i]]
-			if err := nodeFailure(sc.id, r); err != nil {
-				e.recordErr(sc.id, err)
+			v := s.awake[i]
+			if err := nodeFailure(graph.NodeID(v), r); err != nil {
+				e.recordErr(graph.NodeID(v), err)
 			}
-			if e.reuse {
-				e.inbox[sc.id] = e.inbox[sc.id][:0]
-			} else {
-				e.inbox[sc.id] = nil
-			}
-			e.commitNode(s, sc)
-			sc.halted = true
+			e.inboxLen[v] = 0
+			e.commitNode(s, graph.NodeID(v))
+			e.flags[v] |= flagHalted
 			s.halts++
 			next = i + 1
 		}
@@ -1187,15 +1392,13 @@ func (e *stepEngine) stepNodes(s *stepShard, start int) (next int) {
 	round, slot := e.round, e.slot
 	for ; i < len(s.awake); i++ {
 		v := s.awake[i]
-		sc := &e.nodes[v]
-		if sc.halted {
+		fl := e.flags[v]
+		if fl&flagHalted != 0 {
 			// Crash-stopped between being scheduled and this round.
 			continue
 		}
-		sc.scheduled = false
-		sc.asleep = false
-		sc.pulseWake = false
-		in := Input{Round: round, Msgs: e.inbox[v], Slot: slot}
+		e.flags[v] = fl &^ (flagScheduled | flagAsleep | flagPulseWake)
+		in := Input{Round: round, Msgs: e.inboxOf(graph.NodeID(v)), Slot: slot}
 		if e.roundBase != nil && e.roundBase[v] != 0 {
 			// A restarted incarnation counts rounds from its revival: its
 			// first step is a local round 0 — no messages, a zero slot —
@@ -1205,65 +1408,60 @@ func (e *stepEngine) stepNodes(s *stepShard, start int) (next int) {
 				in.Msgs, in.Slot = nil, Slot{}
 			}
 		}
-		sc.round = in.Round
-		halt := sc.machine.Step(in)
-		if e.reuse {
-			e.inbox[v] = e.inbox[v][:0]
-		} else {
-			e.inbox[v] = nil
-		}
-		if sc.chPending || len(sc.out) > 0 {
-			e.commitNode(s, sc)
+		halt := e.machines[v].Step(in)
+		e.inboxLen[v] = 0
+		if s.chPending || len(s.stage) > 0 {
+			e.commitNode(s, graph.NodeID(v))
 		}
 		switch {
 		case halt:
-			sc.halted = true
-			sc.result = sc.machine.Result()
+			e.flags[v] |= flagHalted
+			e.results[v] = e.machines[v].Result()
 			s.halts++
-		case sc.asleep:
+		case e.flags[v]&flagAsleep != 0:
 			// Parked until a message (or, with pulseWake, an idle slot)
 			// wakes it.
-			if sc.pulseWake {
+			if e.flags[v]&flagPulseWake != 0 {
 				s.pulseSleepers = append(s.pulseSleepers, v)
 			}
 		default:
-			sc.scheduled = true
+			e.flags[v] |= flagScheduled
 			s.next = append(s.next, v)
 		}
 	}
 	return i
 }
 
-// commitNode commits one stepped node's staged sends and channel write into
-// its shard's buckets and write summary.
+// commitNode commits the stepping node's staged sends and channel write —
+// accumulated in its shard's scratch — into the destination buckets and
+// write summary, clearing the duplicate-send guard link by link.
 //
 //mmlint:noalloc
-func (e *stepEngine) commitNode(s *stepShard, sc *StepCtx) {
-	if sc.chPending {
+func (e *stepEngine) commitNode(s *stepShard, id graph.NodeID) {
+	if s.chPending {
 		s.writers++
-		s.writerID = sc.id
-		s.writerPayload = sc.chWrite
-		sc.chPending, sc.chWrite = false, nil
+		s.writerID = id
+		s.writerPayload = s.chWrite
+		s.chPending, s.chWrite = false, nil
 	}
-	if len(sc.out) > 0 {
-		base := e.sentOff[sc.id]
-		for _, o := range sc.out {
-			if o.link >= 0 {
-				e.sentFlags[base+int(o.link)] = false
-			}
-			d := int(o.to) / e.shardSize
-			s.out[d] = append(s.out[d], delivered{to: o.to, from: sc.id, edgeID: o.edgeID, payload: o.payload})
+	for _, o := range s.stage {
+		if o.link >= 0 {
+			s.sentBits[o.link>>6] &^= uint64(1) << (o.link & 63)
 		}
-		sc.out = sc.out[:0]
+		d := int(o.to) / e.shardSize
+		s.out[d] = append(s.out[d], delivered{to: o.to, from: id, edgeID: o.edgeID, payload: o.payload})
 	}
+	s.stage = s.stage[:0]
 }
 
 // deliverShard runs the delivery phase for one destination shard: wake
-// pulse-parked nodes if the pulse fired, deposit the delayed messages due
-// this round, then drain every source shard's bucket (in shard order,
-// keeping inboxes presorted by sender range) through the fault hook, sort
-// multi-message inboxes by (sender, edge id), count messages and drops, and
-// wake sleeping recipients.
+// pulse-parked nodes if the pulse fired, then land the round's messages —
+// delayed deliveries due now first, then every source shard's bucket in
+// shard order — in the shard's inbox arena: survivors are gathered in
+// arrival order, counted per recipient, and laid out as one contiguous
+// window per recipient, all in buffers reused round after round (steady-
+// state delivery allocates nothing, adapter runs included). Multi-message
+// inboxes are sorted by (sender, edge id) and sleeping recipients woken.
 //
 //mmlint:noalloc
 func (e *stepEngine) deliverShard(d int) {
@@ -1279,24 +1477,120 @@ func (e *stepEngine) deliverShard(d int) {
 		// they observe the pulse next round. Entries whose pulseWake flag is
 		// gone were woken early by a message and already stepped since.
 		for _, v := range sd.pulseSleepers {
-			sc := &e.nodes[v]
-			if sc.halted || !sc.pulseWake {
+			fl := e.flags[v]
+			if fl&flagHalted != 0 || fl&flagPulseWake == 0 {
 				continue
 			}
-			sc.pulseWake = false
-			if !sc.scheduled {
-				sc.scheduled = true
-				sc.asleep = false
+			fl &^= flagPulseWake
+			if fl&flagScheduled == 0 {
+				fl = (fl | flagScheduled) &^ flagAsleep
 				sd.awake = append(sd.awake, v)
 			}
+			e.flags[v] = fl
 		}
 		sd.pulseSleepers = sd.pulseSleepers[:0]
 	}
-	if e.reuse {
-		e.deliverReuse(sd, d, deliverRound)
-	} else {
-		e.deliverArena(sd, d, deliverRound)
+
+	// Pass A: route everything due this round through the fault hook,
+	// collecting survivors in arrival order (late deliveries first, then
+	// source shards in shard order).
+	sd.arrivals = sd.arrivals[:0]
+	if late := sd.takePending(deliverRound); late != nil {
+		for i := range late {
+			m := &late[i]
+			if e.flags[m.to]&flagHalted != 0 {
+				if e.continuing {
+					sd.dropped++
+				}
+				continue
+			}
+			sd.arrivals = append(sd.arrivals, *m)
+		}
+		sd.recyclePending(late)
 	}
+	msgFaults := e.inj.HasMsgFaults()
+	for si := range e.shards {
+		bucket := e.shards[si].out[d]
+		if len(bucket) == 0 {
+			continue
+		}
+		for i := range bucket {
+			m := &bucket[i]
+			sd.msgs++
+			if msgFaults && !e.applyMsgFaults(sd, m, deliverRound) {
+				m.payload = nil
+				continue
+			}
+			if e.flags[m.to]&flagHalted != 0 {
+				if e.continuing {
+					sd.dropped++
+				}
+				m.payload = nil
+				continue
+			}
+			sd.arrivals = append(sd.arrivals, *m)
+			m.payload = nil
+		}
+		e.shards[si].out[d] = bucket[:0]
+	}
+	if len(sd.arrivals) == 0 {
+		return
+	}
+
+	// Pass B: per-recipient counts, then the arena carved into per-node
+	// windows filled in arrival order. counts doubles as the fill cursor
+	// and is restored to zero on the way out.
+	if sd.counts == nil {
+		sd.ensureCounts()
+	}
+	arena := sd.arenaFor(len(sd.arrivals))
+	for i := range sd.arrivals {
+		t := int(sd.arrivals[i].to) - sd.lo
+		if sd.counts[t] == 0 {
+			sd.touched = append(sd.touched, int32(sd.arrivals[i].to))
+		}
+		sd.counts[t]++
+	}
+	off := int32(0)
+	for _, v := range sd.touched {
+		t := int(v) - sd.lo
+		n := sd.counts[t]
+		e.inboxOff[v] = off
+		e.inboxLen[v] = n
+		sd.counts[t] = off // becomes the node's next free index below
+		off += n
+	}
+	for i := range sd.arrivals {
+		m := &sd.arrivals[i]
+		t := int(m.to) - sd.lo
+		arena[sd.counts[t]] = Message{From: m.from, EdgeID: int(m.edgeID), Payload: m.payload}
+		sd.counts[t]++
+		m.payload = nil // release the scratch list's reference
+	}
+	for _, v := range sd.touched {
+		sd.counts[int(v)-sd.lo] = 0
+		if box := e.inboxOf(graph.NodeID(v)); len(box) > 1 {
+			sortInbox(box)
+		}
+		// Wake the recipient, in first-arrival order.
+		fl := e.flags[v]
+		if fl&flagScheduled == 0 {
+			e.flags[v] = (fl | flagScheduled) &^ flagAsleep
+			sd.awake = append(sd.awake, v)
+		}
+	}
+	if e.tw == nil {
+		// With a transcript on, the coordinator digests and clears the
+		// touched lists after the phase (emitRound); the hot path never
+		// does transcript work.
+		sd.touched = sd.touched[:0]
+	}
+}
+
+// ensureCounts allocates the shard's per-recipient count array; called once
+// per shard, on its first non-empty delivery.
+func (sd *stepShard) ensureCounts() {
+	sd.counts = make([]int32, sd.hi-sd.lo)
 }
 
 // applyMsgFaults routes one staged message through the injector. A false
@@ -1363,154 +1657,6 @@ func (sd *stepShard) recyclePending(late []delivered) {
 	sd.pendingFree = append(sd.pendingFree, late[:0])
 }
 
-// deliverReuse is the delivery phase for native runs, whose inbox buffers
-// are engine-owned and reused round after round (Machine inputs are only
-// valid during Step) — steady-state delivery allocates nothing.
-//
-//mmlint:noalloc
-func (e *stepEngine) deliverReuse(sd *stepShard, d int, deliverRound int) {
-	if late := sd.takePending(deliverRound); late != nil {
-		for i := range late {
-			e.deposit(sd, &late[i])
-		}
-		sd.recyclePending(late)
-	}
-	msgFaults := e.inj.HasMsgFaults()
-	for si := range e.shards {
-		bucket := e.shards[si].out[d]
-		if len(bucket) == 0 {
-			continue
-		}
-		for i := range bucket {
-			m := &bucket[i]
-			sd.msgs++
-			if msgFaults && !e.applyMsgFaults(sd, m, deliverRound) {
-				m.payload = nil
-				continue
-			}
-			e.deposit(sd, m)
-			m.payload = nil // drop the engine's reference once delivered
-		}
-		e.shards[si].out[d] = bucket[:0]
-	}
-	for _, v := range sd.touched {
-		if box := e.inbox[v]; len(box) > 1 {
-			sortInbox(box)
-		}
-	}
-	if e.tw == nil {
-		// With a transcript on, the coordinator digests and clears the
-		// touched lists after the phase (emitRound); the hot path never
-		// does transcript work.
-		sd.touched = sd.touched[:0]
-	}
-}
-
-// deliverArena is the delivery phase for adapter runs, whose inboxes cannot
-// be reused: the goroutine API always allowed a Program to retain an
-// Input's Msgs past Tick. Instead of growing one heap slice per recipient
-// per round, the round's surviving messages are staged in a reused scratch
-// list and laid out into a single freshly allocated arena — one contiguous
-// window per recipient, one allocation per shard per round, with the arena
-// handed out and never touched again.
-func (e *stepEngine) deliverArena(sd *stepShard, d int, deliverRound int) {
-	// Pass A: route everything due this round through the fault hook,
-	// collecting survivors in arrival order (late deliveries first, then
-	// source shards in shard order — exactly the order deposit sees them on
-	// the native path).
-	arr := sd.arrivals[:0]
-	if late := sd.takePending(deliverRound); late != nil {
-		for i := range late {
-			m := &late[i]
-			if e.nodes[m.to].halted {
-				if e.continuing {
-					sd.dropped++
-				}
-				continue
-			}
-			arr = append(arr, *m)
-		}
-		sd.recyclePending(late)
-	}
-	msgFaults := e.inj.HasMsgFaults()
-	for si := range e.shards {
-		bucket := e.shards[si].out[d]
-		if len(bucket) == 0 {
-			continue
-		}
-		for i := range bucket {
-			m := &bucket[i]
-			sd.msgs++
-			if msgFaults && !e.applyMsgFaults(sd, m, deliverRound) {
-				m.payload = nil
-				continue
-			}
-			if e.nodes[m.to].halted {
-				if e.continuing {
-					sd.dropped++
-				}
-				m.payload = nil
-				continue
-			}
-			arr = append(arr, *m)
-			m.payload = nil
-		}
-		e.shards[si].out[d] = bucket[:0]
-	}
-	sd.arrivals = arr
-	if len(arr) == 0 {
-		return
-	}
-	// Pass B: per-recipient counts, then one arena carved into per-node
-	// windows filled in arrival order.
-	if sd.counts == nil {
-		sd.counts = make([]int32, sd.hi-sd.lo)
-	}
-	for i := range arr {
-		t := int(arr[i].to) - sd.lo
-		if sd.counts[t] == 0 {
-			sd.touched = append(sd.touched, int32(arr[i].to))
-		}
-		sd.counts[t]++
-	}
-	arena := make([]Message, len(arr))
-	off := int32(0)
-	for _, v := range sd.touched {
-		t := int(v) - sd.lo
-		n := sd.counts[t]
-		// Full slice expression: programs may legally append to an Input's
-		// Msgs, which must reallocate rather than bleed into the next
-		// recipient's window of the shared arena.
-		e.inbox[v] = arena[off : off+n : off+n]
-		sd.counts[t] = off // becomes the node's next free index below
-		off += n
-	}
-	for i := range arr {
-		m := &arr[i]
-		t := int(m.to) - sd.lo
-		arena[sd.counts[t]] = Message{From: m.from, EdgeID: int(m.edgeID), Payload: m.payload}
-		sd.counts[t]++
-		m.payload = nil // release the scratch list's reference
-	}
-	for _, v := range sd.touched {
-		sd.counts[int(v)-sd.lo] = 0
-		if box := e.inbox[v]; len(box) > 1 {
-			sortInbox(box)
-		}
-		// Wake the recipient, in first-arrival order like the native path.
-		dst := &e.nodes[v]
-		if !dst.scheduled {
-			dst.scheduled = true
-			dst.asleep = false
-			sd.awake = append(sd.awake, v)
-		}
-	}
-	if e.tw == nil {
-		// See deliverReuse: with a transcript on, emitRound owns the reset.
-		sd.touched = sd.touched[:0]
-	}
-}
-
 // sortInbox orders one inbox by (sender, edge id) — the delivery order both
 // engines guarantee.
 //
@@ -1524,40 +1670,15 @@ func sortInbox(box []Message) {
 	})
 }
 
-// deposit lands one message in its destination inbox (or the halted-drop
-// count), waking a sleeping recipient. sd must be m.to's shard.
-//
-//mmlint:noalloc
-func (e *stepEngine) deposit(sd *stepShard, m *delivered) {
-	dst := &e.nodes[m.to]
-	if dst.halted {
-		if e.continuing {
-			sd.dropped++
-		}
-		return
-	}
-	box := e.inbox[m.to]
-	if len(box) == 0 {
-		sd.touched = append(sd.touched, int32(m.to))
-		if !dst.scheduled {
-			dst.scheduled = true
-			dst.asleep = false
-			sd.awake = append(sd.awake, int32(m.to))
-		}
-	}
-	e.inbox[m.to] = append(box, Message{From: m.from, EdgeID: int(m.edgeID), Payload: m.payload})
-}
-
 // abortMachines unwinds machines of nodes still live when the run ends —
 // with the goroutine adapter these hold blocked program goroutines.
 func (e *stepEngine) abortMachines() {
-	for v := range e.nodes {
-		sc := &e.nodes[v]
-		if !sc.halted && sc.machine != nil {
-			if ab, ok := sc.machine.(aborter); ok {
+	for v := range e.machines {
+		if e.flags[v]&flagHalted == 0 && e.machines[v] != nil {
+			if ab, ok := e.machines[v].(aborter); ok {
 				ab.abortRun()
 			}
-			sc.halted = true
+			e.flags[v] |= flagHalted
 		}
 	}
 }

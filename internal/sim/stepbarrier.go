@@ -45,7 +45,7 @@ func (b *StepBarrier) Step(in Input, handle func(Input) bool) (done bool) {
 	switch {
 	case active || b.c.SentThisRound():
 		b.c.Busy()
-	case !b.c.chPending:
+	case !b.c.shard().chPending:
 		b.c.SleepUntilPulse()
 	}
 	b.armed = true

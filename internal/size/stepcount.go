@@ -42,7 +42,7 @@ func Census(g graph.Topology, seed int64, opts ...sim.Option) (*CensusResult, er
 // form exactly, so both produce identical estimates and metrics.
 type glMachine struct {
 	c   *sim.StepCtx
-	i   int
+	i   int32
 	est int64
 }
 
@@ -53,7 +53,7 @@ func (m *glMachine) Step(in sim.Input) bool {
 	}
 	m.i++
 	p := 1.0
-	for j := 0; j < m.i; j++ {
+	for j := int32(0); j < m.i; j++ {
 		p /= 2
 	}
 	if m.c.Rand().Float64() < p {
@@ -71,19 +71,25 @@ type glState struct {
 }
 
 // SnapshotState implements sim.Snapshotter.
-func (m *glMachine) SnapshotState() any { return glState{I: m.i, Est: m.est} }
+func (m *glMachine) SnapshotState() any { return glState{I: int(m.i), Est: m.est} }
 
 // RestoreState implements sim.Snapshotter.
 func (m *glMachine) RestoreState(state any) {
 	s := state.(glState)
-	m.i, m.est = s.I, s.Est
+	m.i, m.est = int32(s.I), s.Est
 }
 
 // GLStepProgram returns the native Greenberg–Ladner estimator program, for
 // callers that drive sim.RunStep or sim.Resume directly (EstimateStep wraps
-// it with result validation).
+// it with result validation). Machines come from a per-run slab: one
+// allocation for the whole network.
 func GLStepProgram() sim.StepProgram {
-	return func(c *sim.StepCtx) sim.Machine { return &glMachine{c: c} }
+	var slab sim.Slab[glMachine]
+	return func(c *sim.StepCtx) sim.Machine {
+		m := slab.Alloc(c.N())
+		*m = glMachine{c: c}
+		return m
+	}
 }
 
 func init() {
