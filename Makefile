@@ -82,13 +82,19 @@ obs-smoke:
 	$(GO) test ./cmd/mmnet -run TestObsSmoke -count=1
 	$(GO) test ./internal/obs -run 'TestExampleTraceFixture|TestTraceChromeJSON|TestSeriesSumsMatchMetricsUnderFaults' -count=1
 
-## scale-smoke: the 10⁷-node acceptance gate of the implicit-topology
-## substrate — a census over ring:10000000 runs without ever materializing
-## the edge set (the topology itself is O(1) memory; peak RSS is all
-## per-node engine/protocol state). GOMEMLIMIT pins the peak to ~5.6 GiB so
-## the job fits 7 GB CI runners; ~2.5 min on 1 core.
+## scale-smoke: the acceptance gate of the implicit-topology substrate — a
+## census over an implicit ring runs without ever materializing the edge
+## set (the topology itself is O(1) memory; peak RSS is all per-node
+## engine/protocol state). The default 10⁷ tier is CI's: GOMEMLIMIT pins
+## the peak so the job fits 7 GB runners; ~1 min on 1 core. SCALE_FULL=1
+## switches to the 10⁸ tier — the struct-of-arrays engine holds the whole
+## census under GOMEMLIMIT=20GiB — which needs a ≥24 GB box and ~20 min.
 scale-smoke:
+ifeq ($(SCALE_FULL),1)
+	GOGC=off GOMEMLIMIT=20GiB $(GO) run ./cmd/mmnet -graph ring:100000000 -algo census -workers 1
+else
 	GOGC=50 GOMEMLIMIT=5GiB $(GO) run ./cmd/mmnet -graph ring:10000000 -algo census -workers 1
+endif
 
 ## resume-smoke: end-to-end checkpoint/restore gate (CI's resume-smoke job) —
 ## a faulted 10⁵-node census through the real CLI, checkpointed right in the

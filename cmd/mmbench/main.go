@@ -244,6 +244,11 @@ const regressionTolerance = 0.75
 // tiny baselines.
 const allocsSlack = 16
 
+// bytesPerNodeSlack is the absolute bytes/node growth always tolerated by
+// the memory gate: the O(1)-topology rows sit at micro-bytes/node, where
+// any proportional bound is noise.
+const bytesPerNodeSlack = 16.0
+
 // compareReports diffs the fresh report against a committed baseline. Rows
 // are matched by name; rows whose node counts differ (e.g. quick-mode scale
 // rows against a -full baseline) are skipped, new rows pass by default, and
@@ -283,6 +288,18 @@ func compareReports(w io.Writer, cur *Report, baselinePath string) error {
 			fmt.Fprintf(w, "compare: %-32s NEW (no baseline row)\n", r.Name)
 		case b.Nodes != r.Nodes:
 			fmt.Fprintf(w, "compare: %-32s skipped (n=%d vs baseline n=%d)\n", r.Name, r.Nodes, b.Nodes)
+		case b.BytesPerNode > 0 && r.BytesPerNode > 0:
+			// Memory rows: bytes/node gates exactly like nodes/sec — growth
+			// past 1/tolerance × baseline fails. Live-heap measurements are
+			// machine-shape independent, so this half always gates.
+			ratio := r.BytesPerNode / b.BytesPerNode
+			verdict := "ok"
+			if ratio > 1/regressionTolerance && r.BytesPerNode > b.BytesPerNode+bytesPerNodeSlack {
+				verdict = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.2f -> %.2f bytes/node (%.2fx)", r.Name, b.BytesPerNode, r.BytesPerNode, ratio))
+			}
+			fmt.Fprintf(w, "compare: %-32s %.2fx baseline bytes/node  %s\n", r.Name, ratio, verdict)
 		case b.NodesPerSec <= 0:
 			fmt.Fprintf(w, "compare: %-32s skipped (degenerate baseline)\n", r.Name)
 		default:
@@ -376,7 +393,81 @@ func memRows(w io.Writer, rep *Report, n int) error {
 		})
 		fmt.Fprintf(w, "%-32s %12d bytes  (%.2f bytes/node)\n", form.name, bytes, float64(bytes)/float64(n))
 	}
+	// Engine-footprint rows: the live heap a running census actually holds —
+	// topology plus the step engine's node arrays, machine slab, and shard
+	// arenas. This is the number that decides how many nodes fit in a box,
+	// and the axis the SoA compaction moved; the -compare gate holds it.
+	for _, form := range []struct{ name, spec string }{
+		{"mem/census-ring-implicit", fmt.Sprintf("ring:%d", n)},
+		{"mem/census-ring-materialized", fmt.Sprintf("mat:ring:%d", n)},
+	} {
+		bytes, err := censusFootprint(form.spec, n)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, Row{
+			Name: form.name, Nodes: n, Bytes: bytes,
+			BytesPerNode: float64(bytes) / float64(n),
+			Note:         "max live heap (post-GC) while a census of " + form.spec + " runs",
+		})
+		fmt.Fprintf(w, "%-32s %12d bytes  (%.2f bytes/node)\n", form.name, bytes, float64(bytes)/float64(n))
+	}
 	return nil
+}
+
+// censusFootprint runs one census over spec and returns the peak live heap
+// the run held. A sampler goroutine forces a collection every interval and
+// reads HeapAlloc right after, so each sample sees only reachable bytes —
+// the engine's steady state allocates nothing, which makes the post-GC
+// samples flat and reproducible. The forced collections slow this run down;
+// the timed rows are measured separately.
+func censusFootprint(spec string, n int) (uint64, error) {
+	g, err := graph.ParseSpec(spec, 1)
+	if err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	stop := make(chan struct{})
+	sampled := make(chan uint64, 1)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				sampled <- peak
+				return
+			case <-tick.C:
+				runtime.GC()
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	res, err := size.Census(g, 1)
+	close(stop)
+	peak := <-sampled
+	if err != nil {
+		return 0, err
+	}
+	if res.N != n {
+		return 0, fmt.Errorf("census footprint: n = %d, want %d", res.N, n)
+	}
+	if peak <= before.HeapAlloc {
+		// The run finished before the first sample (tiny n): fall back to
+		// total allocation over the run, an upper bound on its live peak.
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc, nil
+	}
+	return peak - before.HeapAlloc, nil
 }
 
 // scaleRows times the ported protocol suite on one big ring.

@@ -51,6 +51,8 @@ func TestBenchReportShape(t *testing.T) {
 		"scale/mst-merge-step":          false,
 		"mem/ring-implicit":             false,
 		"mem/ring-materialized":         false,
+		"mem/census-ring-implicit":      false,
+		"mem/census-ring-materialized":  false,
 	}
 	for _, row := range rep.Rows {
 		if _, ok := want[row.Name]; !ok {
@@ -70,6 +72,11 @@ func TestBenchReportShape(t *testing.T) {
 			}
 			if row.Name == "mem/ring-implicit" && row.Bytes > 1<<20 {
 				t.Errorf("row %q: implicit topology cost %d bytes; want O(1)", row.Name, row.Bytes)
+			}
+			if strings.HasPrefix(row.Name, "mem/census-") && row.BytesPerNode <= 0 {
+				// Engine-footprint rows always hold real per-node weight:
+				// machines, results, and node arrays exist on any form.
+				t.Errorf("row %q: engine footprint %.2f bytes/node implausible", row.Name, row.BytesPerNode)
 			}
 			continue
 		}
@@ -147,6 +154,26 @@ func TestCompareGate(t *testing.T) {
 		t.Fatalf("10x-leaner alloc baseline must fail the gate:\n%s", buf.String())
 	} else if !strings.Contains(err.Error(), "allocs/op") {
 		t.Errorf("unexpected alloc gate error: %v", err)
+	}
+
+	// Doctored memory baseline: pretend the past held 10x fewer bytes/node.
+	doctored.Rows = append([]Row(nil), rep.Rows...)
+	for i := range doctored.Rows {
+		if doctored.Rows[i].BytesPerNode > 0 {
+			doctored.Rows[i].BytesPerNode /= 10
+		}
+	}
+	if data, err = json.Marshal(&doctored); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := compareReports(&buf, rep, base); err == nil {
+		t.Fatalf("10x-leaner memory baseline must fail the gate:\n%s", buf.String())
+	} else if !strings.Contains(err.Error(), "bytes/node") {
+		t.Errorf("unexpected memory gate error: %v", err)
 	}
 
 	// Mismatched node counts and unknown rows are skipped, not failed.

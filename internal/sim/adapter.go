@@ -59,7 +59,18 @@ func (m *goroutineMachine) Step(in Input) bool {
 		m.ctx.resume <- in
 	}
 	ticked := <-m.ctx.done
+	m.commitOutputs()
+	return !ticked
+}
 
+// commitOutputs copies the round's staged sends and channel write from the
+// program's Ctx into the engine's per-shard buffers. It runs for every node
+// in every round of an adapter run, so it is held to the same contract as
+// the native engine's delivery phase: the shard stage and the Ctx's out
+// buffer are recycled across rounds, and nothing here may allocate.
+//
+//mmlint:noalloc
+func (m *goroutineMachine) commitOutputs() {
 	sd := m.sc.shard()
 	for _, o := range m.ctx.out {
 		// link -1: Ctx already enforced the one-send-per-link rule.
@@ -73,7 +84,6 @@ func (m *goroutineMachine) Step(in Input) bool {
 		m.ctx.chPending = false
 		m.ctx.chWrite = nil
 	}
-	return !ticked
 }
 
 // runProgram is the per-node goroutine body, identical in error and panic
